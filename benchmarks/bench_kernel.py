@@ -1,0 +1,126 @@
+"""Substrate micro-benchmarks: the simulator itself.
+
+Not a paper figure — these measure the engine the reproduction runs on,
+so regressions in the DES kernel or the max–min fair allocator show up
+before they distort campaign results.  (The optimization guide's rule:
+measure, don't guess.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import NetworkFabric, Topology, max_min_fair_rates
+from repro.net.fabric import Stream
+from repro.sim import Environment, Resource, Store
+from repro.units import Gbps, MB
+
+
+def test_kernel_event_throughput(benchmark):
+    """Ping-pong processes: pure event dispatch rate."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env, n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        for _ in range(20):
+            env.process(ticker(env, 500))
+        env.run()
+        return env.now
+
+    now = benchmark(run)
+    assert now == 500.0
+
+
+def test_kernel_resource_contention(benchmark):
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=4)
+        done = []
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+                done.append(env.now)
+
+        for _ in range(400):
+            env.process(user(env))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 400
+
+
+def test_kernel_store_pipeline(benchmark):
+    def run():
+        env = Environment()
+        q = Store(env)
+        out = []
+
+        def producer(env):
+            for i in range(1000):
+                yield q.put(i)
+
+        def consumer(env):
+            for _ in range(1000):
+                out.append((yield q.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return len(out)
+
+    assert benchmark(run) == 1000
+
+
+def test_fabric_allocator_speed(benchmark):
+    """Max–min fair allocation over a contended star topology."""
+    t = Topology()
+    t.add_node("hub", kind="switch")
+    for i in range(20):
+        t.add_node(f"h{i}")
+        t.add_link(f"h{i}", "hub", Gbps(1))
+    streams = [
+        Stream(
+            stream_id=i,
+            src=f"h{i % 20}",
+            dst=f"h{(i + 7) % 20}",
+            links=tuple(t.route(f"h{i % 20}", f"h{(i + 7) % 20}")),
+            remaining_bytes=1.0,
+            done=None,
+        )
+        for i in range(60)
+    ]
+    caps = {l.key: l.capacity_bps for l in t.links()}
+    rates = benchmark(max_min_fair_rates, streams, caps)
+    assert len(rates) == 60
+    assert all(r > 0 for r in rates.values())
+
+
+def test_fabric_transfer_churn(benchmark):
+    """Many overlapping transfers with constant reallocation."""
+
+    def run():
+        env = Environment()
+        t = Topology()
+        t.add_node("a")
+        t.add_node("b")
+        t.add_link("a", "b", Gbps(1))
+        fabric = NetworkFabric(env, t)
+        finished = []
+
+        def submit(env, i):
+            yield env.timeout(i * 0.01)
+            stream = yield fabric.transfer("a", "b", MB(5))
+            finished.append(stream.stream_id)
+
+        for i in range(100):
+            env.process(submit(env, i))
+        env.run()
+        return len(finished)
+
+    assert benchmark(run) == 100

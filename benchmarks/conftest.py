@@ -1,0 +1,62 @@
+"""Shared fixtures and paper reference values for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(Sec. 3) and checks the *shape* of the result — who wins, by what rough
+factor, where the crossovers fall — against the published numbers.
+Absolute timings of the benchmarks themselves measure this simulator,
+not the authors' testbed.
+
+Artifacts (SVG figures, text tables) are written to
+``benchmarks/output/`` so they can be inspected side by side with the
+paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Table 1 exactly as printed in the paper.
+PAPER_TABLE1 = {
+    "hyperspectral": {
+        "start_period_s": 30,
+        "transfer_volume_mb": 91,
+        "total_data_gb": 6.42,
+        "min_runtime_s": 29,
+        "mean_runtime_s": 47,
+        "max_runtime_s": 181,
+        "median_overhead_s": 19.5,
+        "median_overhead_pct": 49.2,
+        "total_runs": 72,
+    },
+    "spatiotemporal": {
+        "start_period_s": 120,
+        "transfer_volume_mb": 1200,
+        "total_data_gb": 21.72,
+        "min_runtime_s": 195,
+        "mean_runtime_s": 224,
+        "max_runtime_s": 274,
+        "median_overhead_s": 45.2,
+        "median_overhead_pct": 21.1,
+        "total_runs": 18,
+    },
+}
+
+#: Sec. 3.2: YOLOv8 fine-tuned detector quality.
+PAPER_MAP = {"train": 0.791, "val": 0.801}
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> str:
+    out = os.path.join(os.path.dirname(__file__), "output")
+    os.makedirs(out, exist_ok=True)
+    return out
+
+
+def report(name: str, lines: "list[str]", output_dir: str) -> None:
+    """Print a paper-vs-measured block and persist it."""
+    text = "\n".join([f"=== {name} ==="] + lines)
+    print("\n" + text)
+    with open(os.path.join(output_dir, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,101 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``campaign``
+    Run one or both Sec. 3.3 performance campaigns and print Table 1.
+``portal``
+    Run a short campaign and build the static portal site.
+``quicklook``
+    Acquire a real hyperspectral cube and run the Fig. 2 pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .core import render_table1, run_campaign
+
+    names = (
+        ["hyperspectral", "spatiotemporal"] if args.use_case == "both" else [args.use_case]
+    )
+    rows = []
+    for i, name in enumerate(names):
+        res = run_campaign(
+            name, duration_s=args.duration, seed=args.seed + i, copier_mode=args.mode
+        )
+        rows.append(res.table1())
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_portal(args: argparse.Namespace) -> int:
+    from .core import run_campaign
+    from .portal import Portal
+
+    res = run_campaign("hyperspectral", duration_s=args.duration, seed=args.seed)
+    portal = Portal(res.testbed.portal_index)
+    written = portal.build(args.output)
+    print(f"{len(res.completed_runs)} flows completed; "
+          f"{len(written)} portal pages under {args.output}")
+    return 0
+
+
+def _cmd_quicklook(args: argparse.Namespace) -> int:
+    import os
+
+    from .core import analyze_hyperspectral_file
+    from .emd import write_emd
+    from .instrument import PicoProbe
+    from .rng import RngRegistry
+
+    os.makedirs(args.output, exist_ok=True)
+    probe = PicoProbe(RngRegistry(args.seed), operator="cli-user")
+    signal, _ = probe.acquire_hyperspectral(shape=(128, 128), n_channels=1024)
+    emd = os.path.join(args.output, f"{signal.metadata.acquisition_id}.emd")
+    write_emd(emd, signal, compression="zlib")
+    record = analyze_hyperspectral_file(emd, args.output)
+    print(f"wrote {emd}")
+    print(f"detected elements: {', '.join(record['detected_elements'])}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PicoProbe DataFlow reproduction (SC 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("campaign", help="run the Sec. 3.3 campaigns (Table 1)")
+    p.add_argument(
+        "use_case",
+        nargs="?",
+        default="both",
+        choices=["hyperspectral", "spatiotemporal", "spectral-movie", "both"],
+    )
+    p.add_argument("--duration", type=float, default=3600.0, help="simulated seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--mode", default="gated", choices=["gated", "periodic"])
+    p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser("portal", help="build a static portal from a campaign")
+    p.add_argument("--output", default="portal_site")
+    p.add_argument("--duration", type=float, default=1200.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_portal)
+
+    p = sub.add_parser("quicklook", help="run the Fig. 2 content pipeline")
+    p.add_argument("--output", default="quicklook_out")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=_cmd_quicklook)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""Nanoparticle detection: the YOLOv8 substitute.
+
+The paper fine-tunes YOLOv8s on nine hand-labeled frames to detect gold
+nanoparticles.  Deep-learning frameworks are unavailable here, so we
+implement the classical detector the task actually demands — bright,
+roughly circular blobs on a noisy background — with the same *pipeline
+shape* as the paper's: a trainable model (parameters calibrated on the
+hand-labeled split, our "fine-tuning"), per-frame inference emitting
+confidence-scored bounding boxes, and mAP50-95 evaluation.
+
+Method: multi-scale Difference-of-Gaussians proposes candidate peaks;
+each candidate's box size is then *refined* by measuring the blob's
+half-maximum radius in the background-subtracted image (continuous, not
+quantized to the scale grid); confidence grows with response over
+threshold; non-maximum suppression removes duplicates across scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import ReproError
+from .metrics import Box, iou_matrix, map_range
+
+__all__ = ["Detection", "DetectorParams", "BlobDetector", "nms", "calibrate"]
+
+
+@dataclass(frozen=True)
+class Detection(Box):
+    """A detected particle (inherits box geometry + confidence)."""
+
+    scale: float = 0.0  # σ of the best-responding scale
+
+
+@dataclass(frozen=True)
+class DetectorParams:
+    """The 'weights' of the classical model — what calibration tunes.
+
+    ``radius_scale`` converts the measured blob width σ_b (flux-weighted
+    moment estimate) into the box half-size; for Gaussian-profile
+    particles whose visual radius is ≈ 1.8 σ_b, the ideal value is ≈ 1.9
+    after window-truncation bias.
+    """
+
+    sigmas: tuple[float, ...] = (2.0, 2.8, 3.8, 5.2, 7.0, 9.5)
+    threshold: float = 8.0  # scale-normalized response threshold
+    k: float = 1.6  # DoG scale ratio
+    radius_scale: float = 1.9  # box half-size = radius_scale * sigma_b
+    nms_iou: float = 0.35
+    min_radius_px: float = 1.5
+    #: Confidence cut for *counting/annotation* decisions (set by
+    #: calibration to maximize F1 on the training split; mAP itself is
+    #: computed over all detections, as is standard).
+    operating_confidence: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.sigmas or any(s <= 0 for s in self.sigmas):
+            raise ReproError(f"sigmas must be positive: {self.sigmas}")
+        if self.threshold <= 0 or self.k <= 1.0 or self.radius_scale <= 0:
+            raise ReproError("invalid detector parameters")
+
+
+def _center_inside(inner: Box, outer: Box) -> bool:
+    cx, cy = inner.center
+    return outer.x0 <= cx <= outer.x1 and outer.y0 <= cy <= outer.y1
+
+
+def nms(dets: Sequence[Detection], iou_threshold: float) -> list[Detection]:
+    """Greedy non-maximum suppression by confidence.
+
+    A candidate is suppressed if it overlaps a kept detection above the
+    IoU threshold, *or* if either box's center lies inside the other —
+    which removes large-scale responses that merge two adjacent
+    particles (their merged box overlaps each individual one too little
+    for plain IoU suppression).
+    """
+    if not dets:
+        return []
+    order = sorted(dets, key=lambda d: -d.confidence)
+    kept: list[Detection] = []
+    for d in order:
+        if not kept:
+            kept.append(d)
+            continue
+        m = iou_matrix([d], kept)
+        if m.max() >= iou_threshold:
+            continue
+        if any(_center_inside(d, k) or _center_inside(k, d) for k in kept):
+            continue
+        kept.append(d)
+    return kept
+
+
+def _refine_blob(
+    flat: np.ndarray, y: int, x: int, sigma: float
+) -> tuple[float, float, float]:
+    """Sub-pixel center and size estimate from flux-weighted moments.
+
+    Within a ±2.5σ window around the peak, the centroid of the positive
+    background-subtracted intensity gives the center, and the average
+    per-axis weighted variance gives the blob's Gaussian width σ_b.
+    Returns ``(cy, cx, sigma_b)``.
+    """
+    h, w = flat.shape
+    half = max(2, int(np.ceil(2.5 * sigma)))
+    r0, r1 = max(y - half, 0), min(y + half + 1, h)
+    c0, c1 = max(x - half, 0), min(x + half + 1, w)
+    win = np.clip(flat[r0:r1, c0:c1], 0.0, None)
+    total = win.sum()
+    if total <= 0:
+        return float(y), float(x), float(sigma)
+    ys = np.arange(r0, r1, dtype=np.float64)[:, None]
+    xs = np.arange(c0, c1, dtype=np.float64)[None, :]
+    cy = float((win * ys).sum() / total)
+    cx = float((win * xs).sum() / total)
+    var_y = float((win * (ys - cy) ** 2).sum() / total)
+    var_x = float((win * (xs - cx) ** 2).sum() / total)
+    sigma_b = float(np.sqrt(max((var_y + var_x) / 2.0, 1e-6)))
+    return cy, cx, sigma_b
+
+
+class BlobDetector:
+    """Multi-scale DoG detector with calibrated parameters."""
+
+    def __init__(self, params: "DetectorParams | None" = None) -> None:
+        self.params = params or DetectorParams()
+
+    def detect(self, frame: np.ndarray) -> list[Detection]:
+        """Detect particles in one 2-D frame (any float/int dtype)."""
+        img = np.asarray(frame, dtype=np.float64)
+        if img.ndim != 2:
+            raise ReproError(f"detect() wants a 2-D frame, got shape {img.shape}")
+        p = self.params
+        # Remove the slowly varying background so thresholds are about
+        # blob contrast, not absolute counts.
+        background = ndimage.gaussian_filter(img, sigma=4.0 * max(p.sigmas))
+        flat = img - background
+
+        h, w = img.shape
+        candidates: list[Detection] = []
+        for sigma in p.sigmas:
+            g1 = ndimage.gaussian_filter(flat, sigma)
+            g2 = ndimage.gaussian_filter(flat, sigma * p.k)
+            response = (g1 - g2) * (sigma ** 0.5)
+            peaks = (
+                (response == ndimage.maximum_filter(response, size=3))
+                & (response > p.threshold)
+            )
+            ys, xs = np.nonzero(peaks)
+            for y, x in zip(ys, xs):
+                r_resp = float(response[y, x])
+                conf = r_resp / (r_resp + p.threshold)
+                cy, cx, sigma_b = _refine_blob(flat, int(y), int(x), sigma)
+                half_box = max(p.radius_scale * sigma_b, p.min_radius_px)
+                candidates.append(
+                    Detection(
+                        x0=max(0.0, cx - half_box),
+                        y0=max(0.0, cy - half_box),
+                        x1=min(float(w - 1), cx + half_box),
+                        y1=min(float(h - 1), cy + half_box),
+                        confidence=float(conf),
+                        scale=sigma,
+                    )
+                )
+        return nms(candidates, p.nms_iou)
+
+    def detect_movie(self, movie: np.ndarray) -> list[list[Detection]]:
+        """Per-frame inference over a (T, H, W) tensor."""
+        movie = np.asarray(movie)
+        if movie.ndim != 3:
+            raise ReproError(f"detect_movie() wants (T, H, W), got {movie.shape}")
+        return [self.detect(movie[t]) for t in range(movie.shape[0])]
+
+
+def calibrate(
+    frames: Sequence[np.ndarray],
+    labels: Sequence[Sequence[Box]],
+    base: "DetectorParams | None" = None,
+    thresholds: Sequence[float] = (4.0, 6.0, 9.0, 14.0, 22.0),
+    radius_scales: Sequence[float] = (1.7, 1.85, 2.0, 2.15),
+) -> tuple[DetectorParams, float]:
+    """"Fine-tune" the detector on hand-labeled frames.
+
+    Grid search over (threshold, radius_scale) maximizing mAP50-95 on
+    the training split — the classical analogue of the paper's 100-epoch
+    YOLOv8 fine-tuning.  Returns (best params, best training mAP50-95).
+    """
+    if len(frames) != len(labels) or not frames:
+        raise ReproError("calibrate() needs equal-length, non-empty frames/labels")
+    base = base or DetectorParams()
+    best_params, best_map = base, -1.0
+    best_evaluated: list = []
+    for thr in thresholds:
+        for rs in radius_scales:
+            params = replace(base, threshold=thr, radius_scale=rs)
+            det = BlobDetector(params)
+            evaluated = [
+                (det.detect(f), list(lbls)) for f, lbls in zip(frames, labels)
+            ]
+            score = map_range(evaluated)
+            if score > best_map:
+                best_map = score
+                best_params = params
+                best_evaluated = evaluated
+    # Pick the counting/annotation confidence cut: best F1 at IoU 0.5 on
+    # the training split (the classical analogue of choosing YOLO's
+    # confidence threshold after training).
+    best_conf, best_f1 = 0.5, -1.0
+    for conf in (0.5, 0.6, 0.7, 0.8, 0.9, 0.95):
+        f1 = _f1_at_confidence(best_evaluated, conf)
+        if f1 > best_f1:
+            best_f1 = f1
+            best_conf = conf
+    return replace(best_params, operating_confidence=best_conf), best_map
+
+
+def _f1_at_confidence(
+    evaluated: "list[tuple[list[Detection], list[Box]]]", confidence: float
+) -> float:
+    """F1 of detections above ``confidence`` at IoU 0.5."""
+    from .metrics import match_greedy
+
+    tp = fp = fn = 0
+    for dets, truths in evaluated:
+        kept = [d for d in dets if d.confidence >= confidence]
+        assignment = match_greedy(kept, truths, 0.5)
+        matched = sum(1 for a in assignment if a >= 0)
+        tp += matched
+        fp += len(kept) - matched
+        fn += len(truths) - matched
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom else 0.0

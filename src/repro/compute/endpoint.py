@@ -1,0 +1,173 @@
+"""Compute endpoint agent: node leasing, warm reuse, task execution.
+
+The endpoint receives tasks from the compute service, runs them on
+batch nodes, and keeps finished nodes *warm* for an idle window so that
+subsequent flows skip provisioning entirely (the paper's key cold/warm
+dynamic).  The first task on each fresh node additionally pays the
+Python-environment cache warm-up ("cache the Python libraries required
+for analysis", Sec. 3.3).
+
+Internally, leased nodes live in a FIFO :class:`~repro.sim.Store`: a
+task takes the first available warm node, or triggers a provisioner
+that queues on the batch scheduler.  Whichever node shows up first —
+freshly booted or just parked by a finishing task — goes to the
+longest-waiting task, so demand never deadlocks behind a parked node.
+A provisioner that finishes after demand has evaporated returns its
+node to the scheduler immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..errors import ComputeError
+from ..rng import RngRegistry, lognormal_from_median
+from ..sim import Environment, Event, Store
+from .function import RegisteredFunction
+from .scheduler import BatchScheduler, Node
+
+__all__ = ["ComputeEndpoint", "TaskOutcome"]
+
+
+@dataclass
+class TaskOutcome:
+    """What the endpoint reports back per task."""
+
+    result: Any = None
+    error: Optional[str] = None
+    node_id: str = ""
+    cold_start: bool = False  # first task ever on its node?
+    env_cache_paid: bool = False  # did it pay library warm-up?
+    queued_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ComputeEndpoint:
+    """A user-deployed endpoint agent on the HPC side.
+
+    Parameters
+    ----------
+    env, name, scheduler:
+        Environment, endpoint id, and the batch system behind it.
+    env_cache_median_s / env_cache_sigma:
+        Library warm-up on a node's first task.
+    idle_timeout_s:
+        Warm nodes are parked this long before being released back to
+        the batch pool.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        scheduler: BatchScheduler,
+        env_cache_median_s: float = 60.0,
+        env_cache_sigma: float = 0.2,
+        idle_timeout_s: float = 600.0,
+        rngs: Optional[RngRegistry] = None,
+    ) -> None:
+        if env_cache_median_s < 0 or idle_timeout_s < 0:
+            raise ComputeError("durations must be >= 0")
+        self.env = env
+        self.name = name
+        self.scheduler = scheduler
+        self.env_cache_median_s = float(env_cache_median_s)
+        self.env_cache_sigma = float(env_cache_sigma)
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.rngs = rngs or RngRegistry(seed=0)
+        self._available: Store = Store(env)  # parked warm + fresh nodes
+        self._park_epoch: dict[str, int] = {}  # reaper invalidation tokens
+        #: Observability.
+        self.tasks_executed = 0
+        self.cold_starts = 0
+        self.provisions_wasted = 0
+
+    # -- node pool management -------------------------------------------------
+    @property
+    def warm_nodes(self) -> int:
+        return len(self._available)
+
+    def _bump_epoch(self, node: Node) -> int:
+        epoch = self._park_epoch.get(node.node_id, 0) + 1
+        self._park_epoch[node.node_id] = epoch
+        return epoch
+
+    def _park(self, node: Node) -> None:
+        """Make ``node`` available again; reap it if idle past timeout."""
+        epoch = self._bump_epoch(node)
+        self._available.put(node)
+        self.env.process(self._reap_after_idle(node, epoch))
+
+    def _reap_after_idle(self, node: Node, epoch: int) -> Generator:
+        yield self.env.timeout(self.idle_timeout_s)
+        still_parked = node in self._available.items
+        if still_parked and self._park_epoch.get(node.node_id) == epoch:
+            self._available.items.remove(node)
+            self.scheduler.release(node)
+
+    def _provisioner(self) -> Generator:
+        node = yield from self.scheduler.provision()
+        if self._available.pending_getters == 0:
+            # Demand evaporated while we sat in the batch queue (another
+            # task's node was reused instead): hand the node straight back.
+            self.provisions_wasted += 1
+            self.scheduler.release(node)
+            return
+        self._bump_epoch(node)
+        yield self._available.put(node)
+
+    # -- task execution ----------------------------------------------------------
+    def execute(self, func: RegisteredFunction, args: tuple, kwargs: dict) -> Event:
+        """Run a task; returns an event succeeding with a
+        :class:`TaskOutcome` (the outcome's ``error`` is set rather than
+        failing the event, so pollers see FAILED status)."""
+        done = self.env.event()
+        self.env.process(self._run(func, args, kwargs, done))
+        return done
+
+    def _run(
+        self, func: RegisteredFunction, args: tuple, kwargs: dict, done: Event
+    ) -> Generator:
+        outcome = TaskOutcome(queued_at=self.env.now)
+        if len(self._available) == 0:
+            # No warm node parked right now: ask the batch system for one.
+            # If a warm node frees up first, we take it and the fresh node
+            # is returned (see _provisioner).
+            self.env.process(self._provisioner())
+        node: Node = yield self._available.get()
+        self._bump_epoch(node)  # invalidate any pending reaper
+        outcome.node_id = node.node_id
+        outcome.cold_start = node.tasks_run == 0
+        if outcome.cold_start:
+            self.cold_starts += 1
+        outcome.started_at = self.env.now
+        try:
+            if not node.env_cached:
+                warmup = lognormal_from_median(
+                    self.rngs.stream("endpoint.envcache"),
+                    self.env_cache_median_s,
+                    self.env_cache_sigma,
+                )
+                if warmup > 0:
+                    yield self.env.timeout(warmup)
+                node.env_cached = True
+                outcome.env_cache_paid = True
+            charge = func.charge(args, kwargs)
+            if charge > 0:
+                yield self.env.timeout(charge)
+            try:
+                outcome.result = func.fn(*args, **kwargs)
+            except Exception as exc:  # the *user function* failed
+                outcome.error = f"{type(exc).__name__}: {exc}"
+            node.tasks_run += 1
+            self.tasks_executed += 1
+        finally:
+            outcome.finished_at = self.env.now
+            self._park(node)
+        done.succeed(outcome)

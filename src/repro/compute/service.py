@@ -1,0 +1,177 @@
+"""The federated compute service (Globus Compute / funcX stand-in).
+
+Clients register functions, then submit invocations addressed to an
+endpoint; the cloud service routes the task, the endpoint executes it on
+batch resources, and clients poll the task id for status and results —
+the exact interaction pattern of Sec. 2.2.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Generator, Optional
+
+from ..auth import ScopeAuthorizer, Token
+from ..auth.identity import COMPUTE_SCOPE, AuthClient
+from ..errors import ComputeError, EndpointError
+from ..rng import RngRegistry, lognormal_from_median
+from ..sim import Environment, Event
+from .endpoint import ComputeEndpoint, TaskOutcome
+from .function import CostModel, FunctionRegistry
+
+__all__ = ["ComputeService", "ComputeTaskStatus", "ComputeTask"]
+
+
+class ComputeTaskStatus(str, Enum):
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    SUCCESS = "SUCCESS"
+    FAILED = "FAILED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (ComputeTaskStatus.SUCCESS, ComputeTaskStatus.FAILED)
+
+
+@dataclass
+class ComputeTask:
+    """One submitted invocation and its observable record."""
+
+    task_id: str
+    owner: str
+    endpoint: str
+    function_id: str
+    submitted_at: float
+    status: ComputeTaskStatus = ComputeTaskStatus.PENDING
+    outcome: Optional[TaskOutcome] = None
+    completed_at: Optional[float] = None
+
+    def snapshot(self) -> dict:
+        doc = {
+            "task_id": self.task_id,
+            "status": self.status.value,
+            "endpoint": self.endpoint,
+            "function_id": self.function_id,
+        }
+        if self.outcome is not None:
+            doc["result"] = self.outcome.result
+            doc["error"] = self.outcome.error
+            doc["node_id"] = self.outcome.node_id
+            doc["cold_start"] = self.outcome.cold_start
+        return doc
+
+
+class ComputeService:
+    """Routes function invocations to registered endpoints."""
+
+    def __init__(
+        self,
+        env: Environment,
+        auth: AuthClient,
+        rngs: Optional[RngRegistry] = None,
+        api_latency_s: float = 0.2,
+        latency_sigma: float = 0.3,
+    ) -> None:
+        self.env = env
+        self.authorizer = ScopeAuthorizer(auth, COMPUTE_SCOPE)
+        self.rngs = rngs or RngRegistry(seed=0)
+        self.api_latency_s = float(api_latency_s)
+        self.latency_sigma = float(latency_sigma)
+        self.functions = FunctionRegistry()
+        self._endpoints: dict[str, ComputeEndpoint] = {}
+        self._tasks: dict[str, ComputeTask] = {}
+        self._task_events: dict[str, Event] = {}
+        self._ids = itertools.count(1)
+
+    # -- registry ---------------------------------------------------------------
+    def register_endpoint(self, endpoint: ComputeEndpoint) -> None:
+        if endpoint.name in self._endpoints:
+            raise EndpointError(f"endpoint already registered: {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> ComputeEndpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise EndpointError(f"unknown compute endpoint: {name!r}") from None
+
+    def register_function(
+        self,
+        fn: Callable[..., Any],
+        cost_model: Optional[CostModel] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Register ``fn`` with an optional simulated cost model."""
+        return self.functions.register(fn, cost_model, name)
+
+    # -- client API ---------------------------------------------------------------
+    def submit(
+        self,
+        token: Token,
+        endpoint: str,
+        function_id: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> str:
+        """Submit an invocation; returns a task id immediately."""
+        identity = self.authorizer.authorize(token, self.env.now)
+        ep = self.endpoint(endpoint)
+        func = self.functions.get(function_id)  # raises if unknown
+        task = ComputeTask(
+            task_id=f"ctask-{next(self._ids):06d}",
+            owner=identity.username,
+            endpoint=endpoint,
+            function_id=function_id,
+            submitted_at=self.env.now,
+        )
+        self._tasks[task.task_id] = task
+        self._task_events[task.task_id] = self.env.event()
+        self.env.process(self._drive(task, ep, func, args, kwargs))
+        return task.task_id
+
+    def get_task(self, token: Token, task_id: str) -> dict:
+        """Poll task status/result (authenticated)."""
+        self.authorizer.authorize(token, self.env.now)
+        try:
+            return self._tasks[task_id].snapshot()
+        except KeyError:
+            raise ComputeError(f"unknown task: {task_id!r}") from None
+
+    def task_record(self, task_id: str) -> ComputeTask:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise ComputeError(f"unknown task: {task_id!r}") from None
+
+    def wait(self, task_id: str) -> Event:
+        """DES event firing at task completion (diagnostic convenience)."""
+        try:
+            return self._task_events[task_id]
+        except KeyError:
+            raise ComputeError(f"unknown task: {task_id!r}") from None
+
+    # -- internals -------------------------------------------------------------------
+    def _drive(
+        self,
+        task: ComputeTask,
+        ep: ComputeEndpoint,
+        func,
+        args: tuple,
+        kwargs: dict,
+    ) -> Generator:
+        # Cloud routing hop: service receives the task, ships it to the
+        # endpoint's queue.
+        rng = self.rngs.stream("compute.latency")
+        yield self.env.timeout(
+            lognormal_from_median(rng, self.api_latency_s, self.latency_sigma)
+        )
+        task.status = ComputeTaskStatus.RUNNING
+        outcome: TaskOutcome = yield ep.execute(func, args, kwargs)
+        task.outcome = outcome
+        task.completed_at = self.env.now
+        task.status = (
+            ComputeTaskStatus.SUCCESS if outcome.ok else ComputeTaskStatus.FAILED
+        )
+        self._task_events[task.task_id].succeed(task)

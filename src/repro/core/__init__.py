@@ -1,0 +1,68 @@
+"""The paper's contribution: PicoProbe → supercomputer data flows.
+
+Gladier tools composing the Transfer → Analyze → Publish flow
+(``tools``), the combined analysis functions with calibrated cost models
+(``functions``), the watcher-triggered client application (``app``), the
+Sec. 3.3 performance campaigns (``campaign``), and the Table 1 / Fig. 4
+statistics (``stats``).
+"""
+
+from .app import FlowTriggerApp
+from .campaign import CampaignResult, run_campaign, use_case_by_name
+from .functions import (
+    analyze_hyperspectral_file,
+    analyze_spatiotemporal_file,
+    analyze_virtual_hyperspectral,
+    analyze_virtual_spatiotemporal,
+    file_descriptor,
+    hyperspectral_cost_model,
+    spatiotemporal_cost_model,
+)
+from .stats import Table1Row, fig4_samples, fig4_svg, render_table1, table1_row
+from .steering import (
+    DriftVerdict,
+    OperatorAlert,
+    actionable_summary,
+    detect_drift,
+    scan_for_alerts,
+)
+from .tools import (
+    ANALYZE_STATE,
+    PUBLISH_STATE,
+    TRANSFER_STATE,
+    analysis_tool,
+    picoprobe_flow,
+    publish_tool,
+    transfer_tool,
+)
+
+__all__ = [
+    "FlowTriggerApp",
+    "CampaignResult",
+    "run_campaign",
+    "use_case_by_name",
+    "file_descriptor",
+    "analyze_virtual_hyperspectral",
+    "analyze_virtual_spatiotemporal",
+    "analyze_hyperspectral_file",
+    "analyze_spatiotemporal_file",
+    "hyperspectral_cost_model",
+    "spatiotemporal_cost_model",
+    "Table1Row",
+    "table1_row",
+    "render_table1",
+    "fig4_samples",
+    "fig4_svg",
+    "transfer_tool",
+    "analysis_tool",
+    "publish_tool",
+    "picoprobe_flow",
+    "TRANSFER_STATE",
+    "ANALYZE_STATE",
+    "PUBLISH_STATE",
+    "detect_drift",
+    "DriftVerdict",
+    "OperatorAlert",
+    "scan_for_alerts",
+    "actionable_summary",
+]

@@ -1,0 +1,99 @@
+"""The flow-trigger application on the PicoProbe user machine.
+
+The paper's lightweight watcher app (Sec. 2.2.1): when a new EMD file
+appears, consult the checkpoint store (skip files already processed —
+the reboot/resume protection), build the flow input, and start a Globus
+flow.  "Our application is very lightweight as the task logic,
+orchestration, and fault tolerance are managed by Gladier/Globus
+automation services."
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from ..errors import ComputeError
+from ..flows import FlowDefinition, FlowRun, GladierClient
+from ..testbed import EAGLE_EP, PICOPROBE_EP, POLARIS_EP, PORTAL_INDEX, Testbed
+from ..watcher import CheckpointStore, FileCreatedEvent, SimObserver
+from .functions import file_descriptor
+
+__all__ = ["FlowTriggerApp"]
+
+
+class FlowTriggerApp:
+    """Watches for new files and launches one flow per file."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        definition: FlowDefinition,
+        function_id: str,
+        checkpoint: Optional[CheckpointStore] = None,
+        dest_dir: str = "/picoprobe/data",
+        visible_to: tuple[str, ...] = ("public",),
+    ) -> None:
+        self.testbed = testbed
+        self.definition = definition
+        self.function_id = function_id
+        # Note: an empty store is falsy, so test for None explicitly.
+        self.checkpoint = checkpoint if checkpoint is not None else CheckpointStore()
+        self.dest_dir = dest_dir.rstrip("/")
+        self.visible_to = visible_to
+        self.runs: list[FlowRun] = []
+        self.skipped: int = 0
+        #: Callbacks fired when a run reaches a terminal state.
+        self.on_complete: list[Callable[[FlowRun], None]] = []
+
+    def attach(self, observer: SimObserver) -> None:
+        """Subscribe to a directory observer."""
+        observer.add_handler(self.handle_event)
+
+    # -- event handling ---------------------------------------------------
+    def handle_event(self, event: FileCreatedEvent) -> FlowRun | None:
+        """Start a flow for a new EMD file (or skip via checkpoint)."""
+        if not event.is_emd:
+            return None
+        if event.virtual is None:
+            raise ComputeError(
+                "FlowTriggerApp drives simulated campaigns; real-filesystem "
+                "events carry no metadata to analyze"
+            )
+        vf = event.virtual
+        if self.checkpoint.is_processed(vf.path, vf.checksum):
+            self.skipped += 1
+            return None
+        dest_path = f"{self.dest_dir}/{os.path.basename(vf.path)}"
+        acquisition_id = (
+            vf.metadata.acquisition_id if vf.metadata is not None else vf.checksum
+        )
+        run = self.testbed.gladier.run_flow(
+            self.definition,
+            {
+                "source_endpoint": PICOPROBE_EP,
+                "source_path": vf.path,
+                "dest_endpoint": EAGLE_EP,
+                "dest_path": dest_path,
+                "compute_endpoint": POLARIS_EP,
+                "function_id": self.function_id,
+                "file": file_descriptor(vf, dest_path),
+                "search_index": PORTAL_INDEX,
+                "subject": acquisition_id,
+                "visible_to": list(self.visible_to),
+            },
+        )
+        self.checkpoint.mark_processed(vf.path, vf.checksum)
+        self.runs.append(run)
+        self.testbed.env.process(self._notify_on_complete(run))
+        return run
+
+    def _notify_on_complete(self, run: FlowRun):
+        yield run.completed
+        for cb in list(self.on_complete):
+            cb(run)
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def completed_runs(self) -> list[FlowRun]:
+        return [r for r in self.runs if r.status.terminal]

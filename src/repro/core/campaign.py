@@ -1,0 +1,158 @@
+"""The Sec. 3.3 performance campaigns, end to end.
+
+``run_campaign`` reproduces one of the paper's two independent 1-hour
+experiments: build the Argonne testbed, register the use case's combined
+analysis function with its calibrated cost model, compose the Gladier
+flow, start the periodic file copier and the watcher-triggered app, run
+the simulated hour, and return the completed flow runs plus everything
+needed for Table 1 / Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..flows import FlowDefinition, FlowRun
+from ..instrument import (
+    HYPERSPECTRAL_USE_CASE,
+    SPATIOTEMPORAL_USE_CASE,
+    FileCopier,
+    UseCaseSpec,
+)
+from ..testbed import DEFAULT_CALIBRATION, Calibration, Testbed, build_testbed
+from ..transfer import NO_FAULTS, FaultPlan
+from ..units import hours
+from ..watcher import CheckpointStore, SimObserver
+from .app import FlowTriggerApp
+from .functions import (
+    analyze_virtual_hyperspectral,
+    analyze_virtual_spatiotemporal,
+    hyperspectral_cost_model,
+    spatiotemporal_cost_model,
+)
+from .stats import Table1Row, table1_row
+from .tools import picoprobe_flow
+
+__all__ = ["CampaignResult", "run_campaign", "use_case_by_name"]
+
+
+def use_case_by_name(name: str) -> UseCaseSpec:
+    from .extensions import SPECTRAL_MOVIE_USE_CASE
+
+    try:
+        return {
+            "hyperspectral": HYPERSPECTRAL_USE_CASE,
+            "spatiotemporal": SPATIOTEMPORAL_USE_CASE,
+            "spectral-movie": SPECTRAL_MOVIE_USE_CASE,
+        }[name]
+    except KeyError:
+        raise ValueError(f"unknown use case {name!r}") from None
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    use_case: UseCaseSpec
+    duration_s: float
+    testbed: Testbed
+    app: FlowTriggerApp
+    copier: FileCopier
+    definition: FlowDefinition
+
+    @property
+    def runs(self) -> list[FlowRun]:
+        return self.app.runs
+
+    @property
+    def completed_runs(self) -> list[FlowRun]:
+        return self.app.completed_runs
+
+    def table1(self) -> Table1Row:
+        return table1_row(
+            self.use_case.name,
+            self.use_case.period_s,
+            self.use_case.file_size_bytes,
+            self.completed_runs,
+        )
+
+
+def run_campaign(
+    use_case: "UseCaseSpec | str",
+    duration_s: float = hours(1),
+    seed: int = 0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    fault_plan: FaultPlan = NO_FAULTS,
+    copier_mode: str = "gated",
+    checkpoint: Optional[CheckpointStore] = None,
+    compression: "object | None" = None,
+) -> CampaignResult:
+    """Run one use case for ``duration_s`` simulated seconds.
+
+    ``copier_mode="gated"`` reproduces the paper's pacing (next file at
+    ``max(period, previous flow completion)`` — see DESIGN.md);
+    ``"periodic"`` emits strictly every period, which overlaps flows and
+    is used by the contention ablation.  Passing a
+    :class:`~repro.core.extensions.CompressionSpec` as ``compression``
+    inserts a compress-before-transfer state (future-work item 2).
+    """
+    from .extensions import (
+        CompressionSpec,
+        LocalCompressProvider,
+        analyze_virtual_spectral_movie,
+        compressed_picoprobe_flow,
+        spectral_movie_cost_model,
+    )
+
+    if isinstance(use_case, str):
+        use_case = use_case_by_name(use_case)
+    tb = build_testbed(seed=seed, calibration=calibration, fault_plan=fault_plan)
+
+    if use_case.signal_type == "hyperspectral":
+        fn, cost = analyze_virtual_hyperspectral, hyperspectral_cost_model(
+            calibration, tb.rngs
+        )
+    elif use_case.signal_type == "spatiotemporal":
+        fn, cost = analyze_virtual_spatiotemporal, spatiotemporal_cost_model(
+            calibration, tb.rngs
+        )
+    elif use_case.signal_type == "spectral-movie":
+        fn, cost = analyze_virtual_spectral_movie, spectral_movie_cost_model(
+            calibration, tb.rngs
+        )
+    else:
+        raise ValueError(f"unknown signal type {use_case.signal_type!r}")
+    function_id = tb.compute.register_function(fn, cost, name=f"{use_case.name}-analysis")
+
+    if compression is not None:
+        if not isinstance(compression, CompressionSpec):
+            raise ValueError("compression must be a CompressionSpec")
+        tb.flows.register_provider(
+            LocalCompressProvider(tb.env, tb.user_fs, tb.rngs)
+        )
+        definition = compressed_picoprobe_flow(
+            tb.gladier, f"picoprobe-{use_case.name}-compressed", compression
+        )
+    else:
+        definition = picoprobe_flow(tb.gladier, f"picoprobe-{use_case.name}")
+    app = FlowTriggerApp(tb, definition, function_id, checkpoint=checkpoint)
+    observer = SimObserver(tb.user_fs, prefix="/transfer")
+    app.attach(observer)
+
+    copier = FileCopier(
+        tb.env, tb.user_fs, use_case, instrument=tb.instrument, mode=copier_mode
+    )
+    if copier_mode == "gated":
+        app.on_complete.append(lambda run: copier.notify_flow_complete())
+    tb.env.process(copier.run(until=duration_s))
+
+    tb.env.run(until=duration_s)
+    return CampaignResult(
+        use_case=use_case,
+        duration_s=duration_s,
+        testbed=tb,
+        app=app,
+        copier=copier,
+        definition=definition,
+    )

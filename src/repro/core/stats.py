@@ -1,0 +1,130 @@
+"""Campaign statistics: the quantities Table 1 and Fig. 4 report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..flows import FlowRun, RunStatus
+from ..units import format_bytes
+from ..viz import BoxStats, box_chart
+from .tools import ANALYZE_STATE, PUBLISH_STATE, TRANSFER_STATE
+
+__all__ = ["Table1Row", "table1_row", "render_table1", "fig4_samples", "fig4_svg"]
+
+#: Paper step name ↔ our flow state name.
+STEP_LABELS = (
+    ("Transfer", TRANSFER_STATE),
+    ("Analysis", ANALYZE_STATE),
+    ("Publication", PUBLISH_STATE),
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of Table 1."""
+
+    use_case: str
+    start_period_s: float
+    transfer_volume_mb: float
+    total_data_gb: float
+    min_runtime_s: float
+    mean_runtime_s: float
+    max_runtime_s: float
+    median_overhead_s: float
+    median_overhead_pct: float
+    total_runs: int
+
+    def as_dict(self) -> dict:
+        return {
+            "Start period (s)": round(self.start_period_s),
+            "Transfer volume (MB)": round(self.transfer_volume_mb),
+            "Total data transfer (GB)": round(self.total_data_gb, 2),
+            "Min flow runtime (s)": round(self.min_runtime_s),
+            "Mean flow runtime (s)": round(self.mean_runtime_s),
+            "Max flow runtime (s)": round(self.max_runtime_s),
+            "Median overhead (s)": round(self.median_overhead_s, 1),
+            "Median overhead (%)": round(self.median_overhead_pct, 1),
+            "Total flow runs": self.total_runs,
+        }
+
+
+def _completed(runs: Sequence[FlowRun]) -> list[FlowRun]:
+    return [r for r in runs if r.status is RunStatus.SUCCEEDED]
+
+
+def table1_row(
+    use_case_name: str,
+    start_period_s: float,
+    transfer_volume_bytes: float,
+    runs: Sequence[FlowRun],
+) -> Table1Row:
+    """Aggregate completed runs into a Table 1 column."""
+    done = _completed(runs)
+    if not done:
+        raise ValueError(f"no completed runs for use case {use_case_name!r}")
+    runtimes = np.array([r.runtime_seconds for r in done])
+    overheads = np.array([r.overhead_seconds for r in done])
+    overhead_pcts = np.array([100 * r.overhead_fraction for r in done])
+    return Table1Row(
+        use_case=use_case_name,
+        start_period_s=start_period_s,
+        transfer_volume_mb=transfer_volume_bytes / 1e6,
+        total_data_gb=transfer_volume_bytes * len(done) / 1e9,
+        min_runtime_s=float(runtimes.min()),
+        mean_runtime_s=float(runtimes.mean()),
+        max_runtime_s=float(runtimes.max()),
+        median_overhead_s=float(np.median(overheads)),
+        median_overhead_pct=float(np.median(overhead_pcts)),
+        total_runs=len(done),
+    )
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Text rendering in the paper's layout (metrics × use cases)."""
+    if not rows:
+        raise ValueError("render_table1 needs at least one row")
+    metrics = list(rows[0].as_dict().keys())
+    header = ["Metric"] + [r.use_case.capitalize() for r in rows]
+    body = [
+        [m] + [str(r.as_dict()[m]) for r in rows]
+        for m in metrics
+    ]
+    widths = [
+        max(len(line[i]) for line in [header] + body) for i in range(len(header))
+    ]
+
+    def fmt(line: list[str]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(line, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(header), sep] + [fmt(line) for line in body])
+
+
+def fig4_samples(runs: Sequence[FlowRun]) -> dict[str, list[float]]:
+    """Per-run samples of each Fig. 4 quantity: the three step active
+    times, total Active, and Overhead."""
+    done = _completed(runs)
+    out: dict[str, list[float]] = {label: [] for label, _ in STEP_LABELS}
+    out["Active"] = []
+    out["Overhead"] = []
+    for r in done:
+        for label, state in STEP_LABELS:
+            try:
+                out[label].append(r.step(state).active_seconds)
+            except KeyError:
+                pass
+        out["Active"].append(r.active_seconds)
+        out["Overhead"].append(r.overhead_seconds)
+    return out
+
+
+def fig4_svg(runs: Sequence[FlowRun], title: str) -> str:
+    """The Fig. 4 panel: box statistics of the itemized runtimes."""
+    samples = fig4_samples(runs)
+    boxes = [
+        BoxStats.from_samples(label, xs) for label, xs in samples.items() if xs
+    ]
+    return box_chart(boxes, title=title, ylabel="seconds", width=760, height=420)

@@ -1,0 +1,178 @@
+"""Computationally mediated science: the Fig. 1 feedback loop.
+
+The paper's high-level vision (Fig. 1, steps 3-4) has the ML/AI layer
+(iii) "segment and detect features … to assist in calibrating
+measurement", (iv) "perform error correction by alerting the Dynamic
+PicoProbe operator to calibration problems", and finally synthesize
+"an actionable summary to assist domain scientists".
+
+This module closes that loop over published campaign results:
+
+* :func:`detect_drift` — flags calibration problems from the per-frame
+  particle-count series (sudden count collapse → beam/focus problem;
+  monotonic decline → stage drift or beam damage);
+* :class:`OperatorAlert` / :func:`scan_for_alerts` — turns drift
+  verdicts and failed flows into operator alerts;
+* :func:`actionable_summary` — the end-of-campaign digest: throughput,
+  bottleneck attribution, alert roll-up, and a recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..flows import FlowRun, RunStatus
+from ..units import format_bytes, format_duration
+
+__all__ = ["DriftVerdict", "detect_drift", "OperatorAlert", "scan_for_alerts", "actionable_summary"]
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Outcome of calibration-drift analysis on a count series."""
+
+    status: str  # "ok" | "count-collapse" | "monotonic-decline" | "unstable"
+    detail: str
+    first_bad_frame: int = -1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def detect_drift(
+    counts: Sequence[int],
+    collapse_fraction: float = 0.5,
+    decline_threshold: float = -0.3,
+    instability_cv: float = 0.35,
+) -> DriftVerdict:
+    """Analyze a per-frame particle-count series for calibration problems.
+
+    * **count collapse**: any frame where the count drops below
+      ``collapse_fraction`` of the running median — the signature of a
+      defocus/beam event;
+    * **monotonic decline**: a fitted slope losing more than
+      ``|decline_threshold|`` of the initial count over the movie —
+      stage drift or beam damage;
+    * **instability**: coefficient of variation above ``instability_cv``.
+    """
+    xs = np.asarray(counts, dtype=np.float64)
+    if xs.size < 5:
+        return DriftVerdict("ok", f"series too short to judge ({xs.size} frames)")
+    baseline = float(np.median(xs[: max(5, xs.size // 10)]))
+    if baseline <= 0:
+        return DriftVerdict(
+            "count-collapse", "no particles detected at movie start", 0
+        )
+    low = np.nonzero(xs < collapse_fraction * baseline)[0]
+    if low.size:
+        t = int(low[0])
+        return DriftVerdict(
+            "count-collapse",
+            f"count fell to {int(xs[t])} (<{collapse_fraction:.0%} of baseline "
+            f"{baseline:.0f}) at frame {t} — check focus/beam",
+            t,
+        )
+    slope = float(np.polyfit(np.arange(xs.size), xs, 1)[0]) * xs.size / baseline
+    if slope < decline_threshold:
+        return DriftVerdict(
+            "monotonic-decline",
+            f"counts declining {abs(slope):.0%} over the movie — "
+            "suspect stage drift or beam damage",
+            0,
+        )
+    cv = float(xs.std() / xs.mean()) if xs.mean() > 0 else 0.0
+    if cv > instability_cv:
+        return DriftVerdict(
+            "unstable",
+            f"count coefficient of variation {cv:.2f} — noisy detection, "
+            "consider re-calibrating the detector",
+        )
+    return DriftVerdict("ok", f"stable counts (baseline {baseline:.0f}, cv {cv:.2f})")
+
+
+@dataclass(frozen=True)
+class OperatorAlert:
+    """One message for the instrument operator."""
+
+    severity: str  # "warning" | "error"
+    source: str  # run id or subject
+    message: str
+
+
+def scan_for_alerts(
+    runs: Sequence[FlowRun],
+    count_series_by_subject: "dict[str, Sequence[int]] | None" = None,
+) -> list[OperatorAlert]:
+    """Turn failed flows and drift verdicts into operator alerts."""
+    alerts: list[OperatorAlert] = []
+    for r in runs:
+        if r.status is RunStatus.FAILED:
+            alerts.append(
+                OperatorAlert("error", r.run_id, f"flow failed: {r.error}")
+            )
+    for subject, counts in (count_series_by_subject or {}).items():
+        verdict = detect_drift(counts)
+        if not verdict.ok:
+            alerts.append(OperatorAlert("warning", subject, verdict.detail))
+    return alerts
+
+
+def actionable_summary(
+    runs: Sequence[FlowRun],
+    bytes_per_run: float,
+    alerts: Sequence[OperatorAlert] = (),
+) -> dict[str, Any]:
+    """The Fig. 1 step-4 digest for the domain scientist."""
+    done = [r for r in runs if r.status is RunStatus.SUCCEEDED]
+    failed = [r for r in runs if r.status is RunStatus.FAILED]
+    if not done:
+        return {
+            "headline": "no flows completed",
+            "alerts": [a.message for a in alerts],
+            "recommendation": "inspect service health before continuing",
+        }
+    runtimes = np.array([r.runtime_seconds for r in done])
+    overheads = np.array([r.overhead_fraction for r in done])
+    transfer_share = []
+    for r in done:
+        try:
+            transfer_share.append(
+                r.step("TransferData").active_seconds / max(r.active_seconds, 1e-9)
+            )
+        except KeyError:
+            pass
+    bottleneck = (
+        "data transfer"
+        if transfer_share and float(np.median(transfer_share)) > 0.5
+        else "analysis compute"
+    )
+    if float(np.median(overheads)) > 0.4:
+        recommendation = (
+            "flow orchestration overhead exceeds 40% of runtime: tighten the "
+            "polling backoff before upgrading hardware"
+        )
+    elif bottleneck == "data transfer":
+        recommendation = (
+            "transfer-bound: enable compression or upgrade the site uplink "
+            "to increase experiments per hour"
+        )
+    else:
+        recommendation = "compute-bound: request more Polaris nodes or optimize the analysis kernel"
+    return {
+        "headline": (
+            f"{len(done)} experiments analyzed "
+            f"({format_bytes(bytes_per_run * len(done))} moved), "
+            f"median flow {format_duration(float(np.median(runtimes)))}"
+        ),
+        "completed": len(done),
+        "failed": len(failed),
+        "median_runtime_s": float(np.median(runtimes)),
+        "median_overhead_pct": float(100 * np.median(overheads)),
+        "bottleneck": bottleneck,
+        "alerts": [f"[{a.severity}] {a.source}: {a.message}" for a in alerts],
+        "recommendation": recommendation,
+    }

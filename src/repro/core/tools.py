@@ -1,0 +1,89 @@
+"""The Gladier tools composing the paper's two flows.
+
+Both use cases share one three-step shape (Sec. 2.2): **Transfer** the
+EMD file from the user machine to Eagle, **Analyze** it on Polaris via
+the compute service (one combined function: image processing + metadata
+extraction), and **Publish** the resulting record to the search index.
+The tools are parameterized entirely through flow input (`$.input.*`)
+and step outputs (`$.states.*`), exactly how Gladier threads data
+between states.
+"""
+
+from __future__ import annotations
+
+from ..flows import FlowDefinition, FlowState, GladierClient, GladierTool
+
+__all__ = [
+    "transfer_tool",
+    "analysis_tool",
+    "publish_tool",
+    "picoprobe_flow",
+    "TRANSFER_STATE",
+    "ANALYZE_STATE",
+    "PUBLISH_STATE",
+]
+
+TRANSFER_STATE = "TransferData"
+ANALYZE_STATE = "AnalyzeData"
+PUBLISH_STATE = "PublishResults"
+
+
+def transfer_tool() -> GladierTool:
+    """Move the new file from the instrument machine to Eagle."""
+    return GladierTool(
+        name="picoprobe_transfer",
+        states=(
+            FlowState(
+                name=TRANSFER_STATE,
+                provider="transfer",
+                parameters={
+                    "source_endpoint": "$.input.source_endpoint",
+                    "source_path": "$.input.source_path",
+                    "dest_endpoint": "$.input.dest_endpoint",
+                    "dest_path": "$.input.dest_path",
+                },
+            ),
+        ),
+    )
+
+
+def analysis_tool() -> GladierTool:
+    """Run the combined analysis + metadata-extraction function."""
+    return GladierTool(
+        name="picoprobe_analysis",
+        states=(
+            FlowState(
+                name=ANALYZE_STATE,
+                provider="compute",
+                parameters={
+                    "endpoint": "$.input.compute_endpoint",
+                    "function_id": "$.input.function_id",
+                    "kwargs": {"file": "$.input.file"},
+                },
+            ),
+        ),
+    )
+
+
+def publish_tool() -> GladierTool:
+    """Ingest the analysis output into the portal's search index."""
+    return GladierTool(
+        name="picoprobe_publish",
+        states=(
+            FlowState(
+                name=PUBLISH_STATE,
+                provider="search_ingest",
+                parameters={
+                    "index": "$.input.search_index",
+                    "subject": "$.input.subject",
+                    "content": f"$.states.{ANALYZE_STATE}.output",
+                    "visible_to": "$.input.visible_to",
+                },
+            ),
+        ),
+    )
+
+
+def picoprobe_flow(client: GladierClient, title: str) -> FlowDefinition:
+    """Compose the canonical Transfer → Analyze → Publish flow."""
+    return client.compose(title, [transfer_tool(), analysis_tool(), publish_tool()])

@@ -1,0 +1,54 @@
+"""EMD / h5lite: the microscopy file-format substrate.
+
+:mod:`repro.emd.h5lite` is a from-scratch hierarchical binary container
+(the HDF5-subset stand-in); :mod:`repro.emd.emdfile` layers the Electron
+Microscopy Dataset conventions on top; :mod:`repro.emd.schema` defines the
+experiment metadata embedded in every file.
+"""
+
+from .h5lite import Attributes, Dataset, Group, H5LiteFile, H5LiteWriter
+from .emdfile import (
+    DimVector,
+    EmdFile,
+    EmdSignal,
+    EmdSignalHandle,
+    default_dims,
+    estimate_emd_size,
+    read_emd,
+    write_emd,
+)
+from .hmsa import read_hmsa, write_hmsa
+from .schema import (
+    SOFTWARE_VERSION,
+    AcquisitionMetadata,
+    DetectorConfig,
+    MicroscopeState,
+    SampleInfo,
+    StagePosition,
+    iso_from_campaign_seconds,
+)
+
+__all__ = [
+    "H5LiteWriter",
+    "H5LiteFile",
+    "Dataset",
+    "Group",
+    "Attributes",
+    "EmdSignal",
+    "EmdSignalHandle",
+    "EmdFile",
+    "DimVector",
+    "write_emd",
+    "read_emd",
+    "default_dims",
+    "estimate_emd_size",
+    "AcquisitionMetadata",
+    "MicroscopeState",
+    "DetectorConfig",
+    "StagePosition",
+    "SampleInfo",
+    "SOFTWARE_VERSION",
+    "iso_from_campaign_seconds",
+    "write_hmsa",
+    "read_hmsa",
+]

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the PicoProbe data-flow reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish infrastructure faults (transfer failures, scheduler
+rejections, authorization denials) from programming errors (which surface as
+ordinary :class:`ValueError`/:class:`TypeError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "FormatError",
+    "AuthError",
+    "PermissionDenied",
+    "EndpointError",
+    "TransferError",
+    "ChecksumError",
+    "ComputeError",
+    "FunctionNotRegistered",
+    "SchedulerError",
+    "FlowError",
+    "FlowDefinitionError",
+    "ActionFailed",
+    "SearchError",
+    "SchemaError",
+    "WatcherError",
+    "CheckpointError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel (e.g. yielding a
+    non-event, running a finished environment backwards in time)."""
+
+
+class FormatError(ReproError):
+    """Corrupt or malformed h5lite/EMD container data."""
+
+
+class AuthError(ReproError):
+    """Authentication failure: unknown identity, expired or malformed token."""
+
+
+class PermissionDenied(AuthError):
+    """A token was valid but lacked the scope or ACL required for an action."""
+
+
+class EndpointError(ReproError):
+    """An endpoint (transfer or compute) is unreachable or misconfigured."""
+
+
+class TransferError(ReproError):
+    """A transfer task failed permanently (after exhausting retries)."""
+
+
+class ChecksumError(TransferError):
+    """Destination checksum did not match the source after a transfer."""
+
+
+class ComputeError(ReproError):
+    """A remotely executed function raised, or the task was lost."""
+
+
+class FunctionNotRegistered(ComputeError):
+    """A task referenced a function id unknown to the compute service."""
+
+
+class SchedulerError(ComputeError):
+    """The batch scheduler rejected a job (bad resource request, shutdown)."""
+
+
+class FlowError(ReproError):
+    """A flow run failed permanently."""
+
+
+class FlowDefinitionError(FlowError):
+    """A flow definition is structurally invalid (unknown state, no start,
+    unreachable states, duplicate state names)."""
+
+
+class ActionFailed(FlowError):
+    """An action provider reported a terminal FAILED status."""
+
+
+class SearchError(ReproError):
+    """Search-index ingest or query failure."""
+
+
+class SchemaError(SearchError):
+    """A metadata document failed DataCite-style schema validation."""
+
+
+class WatcherError(ReproError):
+    """Directory-observer failure (e.g. watched root disappeared)."""
+
+
+class CheckpointError(WatcherError):
+    """Checkpoint store corruption or concurrent-writer conflict."""
+
+
+class CalibrationError(ReproError):
+    """Testbed calibration parameters are inconsistent or out of range."""

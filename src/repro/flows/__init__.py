@@ -1,0 +1,40 @@
+"""Globus-Flows/Gladier-style orchestration substrate.
+
+Flow definitions (validated state machines with parameter templating),
+action providers over the transfer/compute/search services, a run
+executor with the paper's exponential polling backoff, and Gladier-style
+tool composition.
+"""
+
+from .action import ActionProvider, ActionState, ActionStatus
+from .backoff import PAPER_BACKOFF, ConstantBackoff, ExponentialBackoff
+from .definition import FlowDefinition, FlowState, resolve_template
+from .gladier import GladierClient, GladierTool
+from .providers import (
+    ComputeActionProvider,
+    SearchIngestActionProvider,
+    TransferActionProvider,
+)
+from .run import FlowRun, RunStatus, StepRecord
+from .service import FlowsService
+
+__all__ = [
+    "FlowDefinition",
+    "FlowState",
+    "resolve_template",
+    "FlowsService",
+    "FlowRun",
+    "RunStatus",
+    "StepRecord",
+    "ActionProvider",
+    "ActionState",
+    "ActionStatus",
+    "ExponentialBackoff",
+    "ConstantBackoff",
+    "PAPER_BACKOFF",
+    "TransferActionProvider",
+    "ComputeActionProvider",
+    "SearchIngestActionProvider",
+    "GladierClient",
+    "GladierTool",
+]

@@ -1,0 +1,56 @@
+"""Action-provider interface: the pluggable steps a flow orchestrates.
+
+Globus Flows drives *action providers* — services exposing a run/poll
+lifecycle.  Each provider here adapts one substrate service (transfer,
+compute, search ingest) to that lifecycle; the executor submits a body,
+then polls :meth:`ActionProvider.status` until a terminal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Protocol, runtime_checkable
+
+__all__ = ["ActionState", "ActionStatus", "ActionProvider"]
+
+
+class ActionState(str, Enum):
+    ACTIVE = "ACTIVE"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+
+    @property
+    def terminal(self) -> bool:
+        return self is not ActionState.ACTIVE
+
+
+@dataclass(frozen=True)
+class ActionStatus:
+    """Snapshot returned by polling an action.
+
+    ``active_seconds`` is the provider's accounting of time spent
+    actually processing (the paper's "Active" time); the executor derives
+    orchestration overhead as *observed* step time minus this.
+    """
+
+    state: ActionState
+    result: dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    active_seconds: float = 0.0
+
+
+@runtime_checkable
+class ActionProvider(Protocol):
+    """Anything a flow state can drive."""
+
+    #: Registry key referenced by flow definitions.
+    name: str
+
+    def run(self, body: dict[str, Any]) -> str:
+        """Start the action; returns an action id."""
+        ...
+
+    def status(self, action_id: str) -> ActionStatus:
+        """Poll the action's current status."""
+        ...

@@ -1,0 +1,116 @@
+"""Flow definitions: a validated linear/branching state machine.
+
+A :class:`FlowDefinition` is a named set of :class:`FlowState` entries —
+each binds an action provider to a parameter template — plus a start
+state.  Parameter templates use a JSONPath-like subset: any string value
+beginning with ``"$."`` is resolved against the run context, e.g.
+``"$.input.source_path"`` or ``"$.states.TransferData.task_id"``, which
+is how Globus Flows threads one step's output into the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import FlowDefinitionError
+
+__all__ = ["FlowState", "FlowDefinition", "resolve_template"]
+
+
+def resolve_template(value: Any, context: dict[str, Any]) -> Any:
+    """Recursively resolve ``$.`` references in ``value`` against
+    ``context``.  Unknown paths raise :class:`FlowDefinitionError`."""
+    if isinstance(value, str) and value.startswith("$."):
+        node: Any = context
+        path = value[2:]
+        for part in path.split("."):
+            if isinstance(node, dict) and part in node:
+                node = node[part]
+            else:
+                raise FlowDefinitionError(
+                    f"template path {value!r} not found in run context"
+                )
+        return node
+    if isinstance(value, dict):
+        return {k: resolve_template(v, context) for k, v in value.items()}
+    if isinstance(value, list):
+        return [resolve_template(v, context) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class FlowState:
+    """One step: which provider to call, with what (templated) body."""
+
+    name: str
+    provider: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    next: Optional[str] = None  # None = terminal state
+
+    def resolve(self, context: dict[str, Any]) -> dict[str, Any]:
+        return resolve_template(self.parameters, context)
+
+
+@dataclass(frozen=True)
+class FlowDefinition:
+    """A validated flow: title, start state, and the state table."""
+
+    title: str
+    start_at: str
+    states: tuple[FlowState, ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.states]
+        if not names:
+            raise FlowDefinitionError(f"flow {self.title!r} has no states")
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise FlowDefinitionError(f"duplicate state names: {sorted(dupes)}")
+        table = set(names)
+        if self.start_at not in table:
+            raise FlowDefinitionError(
+                f"start state {self.start_at!r} not among {sorted(table)}"
+            )
+        for s in self.states:
+            if s.next is not None and s.next not in table:
+                raise FlowDefinitionError(
+                    f"state {s.name!r} transitions to unknown state {s.next!r}"
+                )
+        # Walk from start: every state must be reachable, no cycles.
+        seen: list[str] = []
+        current: Optional[str] = self.start_at
+        by_name = {s.name: s for s in self.states}
+        while current is not None:
+            if current in seen:
+                raise FlowDefinitionError(
+                    f"cycle detected at state {current!r} (flows must terminate)"
+                )
+            seen.append(current)
+            current = by_name[current].next
+        unreachable = table - set(seen)
+        if unreachable:
+            raise FlowDefinitionError(
+                f"unreachable states: {sorted(unreachable)}"
+            )
+
+    def state(self, name: str) -> FlowState:
+        for s in self.states:
+            if s.name == name:
+                return s
+        raise FlowDefinitionError(f"unknown state: {name!r}")
+
+    def ordered_states(self) -> list[FlowState]:
+        """States in execution order from ``start_at``."""
+        out = []
+        current: Optional[str] = self.start_at
+        while current is not None:
+            s = self.state(current)
+            out.append(s)
+            current = s.next
+        return out
+
+    @property
+    def n_transitions(self) -> int:
+        """Orchestration transitions: enter + between states + exit."""
+        return len(self.ordered_states()) + 1

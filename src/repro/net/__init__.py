@@ -1,0 +1,12 @@
+"""Network substrate: topology modeling and max–min fair flow simulation.
+
+Models the paper's data path — PicoProbe user machines behind a 1 Gbps
+switch, the 200 Gbps ANL backbone, ALCF storage — at flow level, so that
+concurrent Globus-style transfers contend for shared links exactly as in
+the Sec. 3.3 experiments.
+"""
+
+from .topology import Link, Topology
+from .fabric import NetworkFabric, Stream, max_min_fair_rates
+
+__all__ = ["Topology", "Link", "NetworkFabric", "Stream", "max_min_fair_rates"]

@@ -1,0 +1,223 @@
+"""Flow-level network simulation with max–min fair bandwidth sharing.
+
+Packet-level simulation of multi-hundred-MB transfers would be absurd;
+transfer tools like Globus are well modeled at *flow level*: each active
+stream gets a rate from a max–min fair allocation over the links it
+traverses (progressive filling), and rates are recomputed whenever a
+stream starts or finishes.  This captures exactly the contention the
+paper measures — concurrent flows sharing the 1 Gbps site switch.
+
+The fabric is a DES component: :meth:`NetworkFabric.transfer` returns an
+event that fires when the last byte arrives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import EndpointError
+from ..sim import Environment, Event, Interrupt, Process
+from .topology import Link, Topology
+
+__all__ = ["NetworkFabric", "Stream", "max_min_fair_rates"]
+
+# A millibyte of slack absorbs float dust when settling GB-scale streams.
+_EPS_BYTES = 1e-3
+_EPS_RATE = 1e-9
+
+
+@dataclass
+class Stream:
+    """One active transfer flow."""
+
+    stream_id: int
+    src: str
+    dst: str
+    links: tuple[Link, ...]
+    remaining_bytes: float
+    done: Event
+    rate: float = 0.0
+    efficiency: float = 1.0  # protocol efficiency (<=1) applied to its share
+    last_update: float = 0.0
+    started_at: float = 0.0
+
+    @property
+    def eta(self) -> float:
+        if self.rate <= _EPS_RATE:
+            return float("inf")
+        return self.remaining_bytes / self.rate
+
+
+def max_min_fair_rates(
+    streams: "list[Stream]", capacities: "dict[tuple[str, str], float]"
+) -> dict[int, float]:
+    """Progressive-filling max–min fair allocation.
+
+    Each stream's share on every link it crosses is equal among unfrozen
+    streams; the most-contended link freezes its streams at the current
+    fair share each round.  Streams with an ``efficiency`` factor < 1
+    achieve only that fraction of their allocated share (protocol
+    overhead), with the unused remainder left on the table — a deliberate
+    simplification that keeps the allocation strictly fair.
+    """
+    rates: dict[int, float] = {}
+    unfrozen = {s.stream_id: s for s in streams if s.links}
+    for s in streams:
+        if not s.links:  # same-host transfer: effectively infinite rate
+            rates[s.stream_id] = float("inf")
+    cap_left = dict(capacities)
+    # Link -> set of unfrozen stream ids crossing it.
+    while unfrozen:
+        users: dict[tuple[str, str], list[int]] = {}
+        for sid, s in unfrozen.items():
+            for link in s.links:
+                users.setdefault(link.key, []).append(sid)
+        # Fair share offered by each occupied link.
+        bottleneck_key = None
+        bottleneck_share = float("inf")
+        for key, sids in users.items():
+            share = cap_left[key] / len(sids)
+            if share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck_key = key
+        assert bottleneck_key is not None
+        # Freeze every stream crossing the bottleneck.
+        for sid in users[bottleneck_key]:
+            s = unfrozen.pop(sid)
+            rates[sid] = bottleneck_share * s.efficiency
+            for link in s.links:
+                cap_left[link.key] = max(0.0, cap_left[link.key] - bottleneck_share)
+    return rates
+
+
+class NetworkFabric:
+    """Shared-bandwidth transfer engine over a :class:`Topology`."""
+
+    def __init__(self, env: Environment, topology: Topology) -> None:
+        self.env = env
+        self.topology = topology
+        self._streams: dict[int, Stream] = {}
+        self._ids = itertools.count(1)
+        self._wake: Optional[Event] = None
+        self._scheduler: Process = env.process(self._run())
+
+    # -- public API ------------------------------------------------------------
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        efficiency: float = 1.0,
+    ) -> Event:
+        """Start moving ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that succeeds with the :class:`Stream` when the
+        transfer completes.  The path's one-way latency is charged before
+        bytes start flowing.
+        """
+        if nbytes < 0:
+            raise EndpointError(f"negative transfer size: {nbytes}")
+        if not 0 < efficiency <= 1.0:
+            raise EndpointError(f"efficiency must be in (0, 1], got {efficiency}")
+        links = tuple(self.topology.route(src, dst))
+        done = self.env.event()
+        stream = Stream(
+            stream_id=next(self._ids),
+            src=src,
+            dst=dst,
+            links=links,
+            remaining_bytes=float(nbytes),
+            done=done,
+            efficiency=float(efficiency),
+            last_update=self.env.now,
+            started_at=self.env.now,
+        )
+        latency = sum(l.latency_s for l in links)
+        self.env.process(self._admit_after(stream, latency))
+        return done
+
+    @property
+    def active_streams(self) -> list[Stream]:
+        return sorted(self._streams.values(), key=lambda s: s.stream_id)
+
+    def throughput(self, src: str, dst: str) -> float:
+        """Aggregate current rate (bytes/s) of active src→dst streams."""
+        return sum(
+            s.rate for s in self._streams.values() if s.src == src and s.dst == dst
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _admit_after(self, stream: Stream, latency: float):
+        if latency > 0:
+            yield self.env.timeout(latency)
+        if stream.remaining_bytes <= _EPS_BYTES:
+            stream.done.succeed(stream)
+            return
+        stream.last_update = self.env.now
+        self._streams[stream.stream_id] = stream
+        self._reallocate()
+        self._kick()
+
+    def _capacities(self) -> dict[tuple[str, str], float]:
+        caps: dict[tuple[str, str], float] = {}
+        for s in self._streams.values():
+            for link in s.links:
+                caps[link.key] = link.capacity_bps
+        return caps
+
+    def _settle(self) -> None:
+        """Account bytes moved since each stream's last update."""
+        now = self.env.now
+        for s in self._streams.values():
+            if s.rate > 0:
+                s.remaining_bytes = max(
+                    0.0, s.remaining_bytes - s.rate * (now - s.last_update)
+                )
+            s.last_update = now
+
+    def _reallocate(self) -> None:
+        self._settle()
+        rates = max_min_fair_rates(list(self._streams.values()), self._capacities())
+        for sid, s in self._streams.items():
+            s.rate = rates.get(sid, 0.0)
+
+    def _kick(self) -> None:
+        """Wake the scheduler after membership/allocation changes."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+            self._wake = None
+
+    def _run(self):
+        while True:
+            if not self._streams:
+                self._wake = self.env.event()
+                yield self._wake
+                continue
+            dt = min(s.eta for s in self._streams.values())
+            if dt == float("inf"):
+                # Should not happen: every admitted stream has a rate.
+                raise EndpointError("active stream with zero allocated rate")
+            wake = self.env.event()
+            self._wake = wake
+            timer = self.env.timeout(dt)
+            yield self.env.any_of([timer, wake])
+            if self._wake is wake and not wake.triggered:
+                # Timer fired: complete streams that drained.
+                self._wake = None
+                self._settle()
+                finished = [
+                    s
+                    for s in self._streams.values()
+                    if s.remaining_bytes <= _EPS_BYTES
+                ]
+                for s in finished:
+                    del self._streams[s.stream_id]
+                for s in finished:
+                    s.done.succeed(s)
+                if self._streams:
+                    self._reallocate()
+            else:
+                # New stream admitted mid-flight: rates already updated.
+                pass

@@ -1,0 +1,106 @@
+"""Network topology: hosts, switches, and capacity/latency-weighted links.
+
+The testbed mirrors Sec. 2.1: PicoProbe user machines behind a 1 Gbps
+switch, the ANL backbone at up to 200 Gbps, and the ALCF systems (Eagle
+storage, Polaris).  Built on a :mod:`networkx` graph so routing is
+shortest-path and easily inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+from ..errors import EndpointError
+
+__all__ = ["Link", "Topology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected link with a shared capacity (bytes/s) and one-way
+    latency (seconds)."""
+
+    a: str
+    b: str
+    capacity_bps: float  # bytes per second, shared across streams
+    latency_s: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+class Topology:
+    """Named nodes + capacity links with shortest-path routing."""
+
+    def __init__(self) -> None:
+        self._g = nx.Graph()
+        self._links: dict[tuple[str, str], Link] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_node(self, name: str, kind: str = "host") -> None:
+        """Add a host or switch (``kind`` is informational)."""
+        if name in self._g:
+            raise EndpointError(f"node already exists: {name!r}")
+        self._g.add_node(name, kind=kind)
+
+    def add_link(self, a: str, b: str, capacity_bps: float, latency_s: float = 0.0) -> Link:
+        """Connect two existing nodes."""
+        for n in (a, b):
+            if n not in self._g:
+                raise EndpointError(f"unknown node: {n!r}")
+        if a == b:
+            raise EndpointError("self-links are not allowed")
+        if capacity_bps <= 0:
+            raise EndpointError(f"capacity must be positive, got {capacity_bps}")
+        link = Link(a, b, float(capacity_bps), float(latency_s))
+        if link.key in self._links:
+            raise EndpointError(f"link already exists: {link.key}")
+        self._links[link.key] = link
+        self._g.add_edge(a, b, weight=latency_s if latency_s > 0 else 1e-9)
+        return link
+
+    # -- queries -----------------------------------------------------------
+    def nodes(self) -> list[str]:
+        return sorted(self._g.nodes)
+
+    def node_kind(self, name: str) -> str:
+        try:
+            return self._g.nodes[name]["kind"]
+        except KeyError:
+            raise EndpointError(f"unknown node: {name!r}") from None
+
+    def link(self, a: str, b: str) -> Link:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise EndpointError(f"no link between {a!r} and {b!r}") from None
+
+    def links(self) -> list[Link]:
+        return sorted(self._links.values(), key=lambda l: l.key)
+
+    def route(self, src: str, dst: str) -> list[Link]:
+        """Latency-weighted shortest path as a list of links."""
+        for n in (src, dst):
+            if n not in self._g:
+                raise EndpointError(f"unknown node: {n!r}")
+        if src == dst:
+            return []
+        try:
+            nodes = nx.shortest_path(self._g, src, dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise EndpointError(f"no route from {src!r} to {dst!r}") from None
+        return [self.link(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Sum of one-way link latencies along the route."""
+        return sum(l.latency_s for l in self.route(src, dst))
+
+    def bottleneck_capacity(self, src: str, dst: str) -> float:
+        """Smallest link capacity along the route (inf for src == dst)."""
+        route = self.route(src, dst)
+        return min((l.capacity_bps for l in route), default=float("inf"))

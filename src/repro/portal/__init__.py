@@ -1,0 +1,7 @@
+"""DGPF-style data portal: static HTML over the search index, rendering
+record pages (plots + metadata tables) and a faceted experiment listing."""
+
+from .portal import Portal
+from .templates import escape, page, table
+
+__all__ = ["Portal", "escape", "page", "table"]

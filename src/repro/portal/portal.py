@@ -1,0 +1,181 @@
+"""The DGPF-style data portal: static pages over a search index.
+
+Researchers "search their experimental data and results by the time and
+date of the associated experiment" (Sec. 2.2.3) and view per-record
+pages like Fig. 2: (A) the intensity image, (B) the spectrum, (C) the
+metadata table.  :class:`Portal` renders an index page (with facet
+counts and a date-window listing) plus one page per visible record, all
+as self-contained HTML.
+
+Records may carry inline plots under ``content["plots"]`` — a mapping of
+plot name → SVG markup (produced by :mod:`repro.viz`) — which are
+embedded directly into the record page.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from ..auth import Identity
+from ..errors import SearchError
+from ..search import FieldFilter, SearchIndex
+from . import templates as T
+
+__all__ = ["Portal"]
+
+#: Fields offered as facets on the index page.
+DEFAULT_FACETS = ("experiment.signal_type", "subjects")
+
+
+class Portal:
+    """Static-site generator over a :class:`~repro.search.SearchIndex`."""
+
+    def __init__(
+        self,
+        index: SearchIndex,
+        title: str = "Dynamic PicoProbe Data Portal",
+        facets: tuple[str, ...] = DEFAULT_FACETS,
+    ) -> None:
+        self.index = index
+        self.title = title
+        self.facets = facets
+
+    # -- page rendering -----------------------------------------------------
+    def render_index(
+        self,
+        identity: Optional[Identity] = None,
+        date_range: Optional[tuple[str, str]] = None,
+        q: Optional[str] = None,
+        limit: int = 100,
+    ) -> str:
+        """The landing page: record listing + facet sidebar."""
+        filters = []
+        if date_range is not None:
+            filters.append(FieldFilter("dates.created", "between", tuple(date_range)))
+        results = self.index.query(
+            q=q,
+            filters=filters,
+            identity=identity,
+            limit=limit,
+            facet_fields=self.facets,
+        )
+        links = []
+        for hit in results.hits:
+            label = hit.content.get("title", hit.subject)
+            created = self._dig(hit.content, "dates.created") or ""
+            links.append(
+                (f"records/{self._slug(hit.subject)}.html", f"{label} — {created}")
+            )
+        body = (
+            f"<h2>Experiments ({results.total_matched})</h2>"
+            + (T.link_list(links) if links else "<p>No records visible.</p>")
+        )
+        sidebar = self._facet_sidebar(results.facets)
+        return T.page(self.title, self.title, body, sidebar)
+
+    def render_record(self, subject: str, identity: Optional[Identity] = None) -> str:
+        """One experiment's page: plots + metadata table (Fig. 2)."""
+        entry = self.index.get(subject, identity=identity)
+        content = entry.content
+        parts = [f"<h2>{T.escape(content.get('title', subject))}</h2>"]
+
+        plots = content.get("plots", {})
+        if isinstance(plots, dict):
+            for name, svg in plots.items():
+                if isinstance(svg, str) and svg.lstrip().startswith("<svg"):
+                    parts.append(
+                        f"<figure>{svg}<figcaption>{T.escape(name)}</figcaption></figure>"
+                    )
+
+        rows = self._metadata_rows(content)
+        parts.append("<h3>Experiment metadata</h3>")
+        parts.append(T.table(rows))
+        back = "<p><a href='../index.html'>&larr; all experiments</a></p>"
+        return T.page(
+            f"{content.get('title', subject)} — {self.title}",
+            self.title,
+            back + "".join(parts),
+        )
+
+    # -- site build ------------------------------------------------------------
+    def build(
+        self,
+        output_dir: "str | os.PathLike",
+        identity: Optional[Identity] = None,
+    ) -> list[str]:
+        """Write index.html + records/*.html; returns written paths."""
+        out = os.fspath(output_dir)
+        os.makedirs(os.path.join(out, "records"), exist_ok=True)
+        written = []
+        index_path = os.path.join(out, "index.html")
+        with open(index_path, "w", encoding="utf-8") as fh:
+            fh.write(self.render_index(identity=identity))
+        written.append(index_path)
+        results = self.index.query(identity=identity, limit=10_000)
+        for hit in results.hits:
+            path = os.path.join(out, "records", f"{self._slug(hit.subject)}.html")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(self.render_record(hit.subject, identity=identity))
+            written.append(path)
+        return written
+
+    # -- helpers ------------------------------------------------------------------
+    @staticmethod
+    def _slug(subject: str) -> str:
+        return "".join(c if c.isalnum() or c in "-_" else "-" for c in subject)
+
+    @staticmethod
+    def _dig(doc: dict, path: str) -> Any:
+        node: Any = doc
+        for part in path.split("."):
+            if isinstance(node, dict) and part in node:
+                node = node[part]
+            else:
+                return None
+        return node
+
+    def _facet_sidebar(self, facets: dict[str, dict[str, int]]) -> str:
+        blocks = []
+        for field, counts in facets.items():
+            if not counts:
+                continue
+            items = "".join(
+                f"<li>{T.escape(v)} ({n})</li>"
+                for v, n in sorted(counts.items(), key=lambda kv: -kv[1])
+            )
+            blocks.append(
+                f"<div class='facet'><h3>{T.escape(field)}</h3><ul>{items}</ul></div>"
+            )
+        return "".join(blocks)
+
+    def _metadata_rows(self, content: dict[str, Any]) -> list[tuple[str, Any]]:
+        """Flatten the interesting metadata into (field, value) rows, the
+        way Fig. 2C lists microscope settings and sample composition."""
+        rows: list[tuple[str, Any]] = []
+        exp = content.get("experiment", {})
+        order = (
+            ("Acquisition id", exp.get("acquisition_id")),
+            ("Acquired at", self._dig(content, "dates.created")),
+            ("Operator", exp.get("operator")),
+            ("Signal type", exp.get("signal_type")),
+            ("Tensor shape", exp.get("shape")),
+            ("Instrument", self._dig(exp, "microscope.instrument")),
+            ("Beam energy (keV)", self._dig(exp, "microscope.beam_energy_kev")),
+            ("Magnification", self._dig(exp, "microscope.magnification")),
+            ("Stage x (um)", self._dig(exp, "microscope.stage.x_um")),
+            ("Stage y (um)", self._dig(exp, "microscope.stage.y_um")),
+            ("Stage tilt alpha (deg)", self._dig(exp, "microscope.stage.alpha_deg")),
+            ("Detectors", ", ".join(
+                d.get("name", "?") for d in self._dig(exp, "microscope.detectors") or []
+            ) or None),
+            ("Sample", self._dig(exp, "sample.name")),
+            ("Elements", ", ".join(self._dig(exp, "sample.elements") or []) or None),
+            ("Software version", exp.get("software_version")),
+        )
+        for k, v in order:
+            if v is not None and v != "":
+                rows.append((k, v))
+        if not rows:
+            rows.append(("Identifier", content.get("identifier", "?")))
+        return rows

@@ -1,0 +1,28 @@
+"""Globus-Search-style indexing substrate.
+
+An inverted-index engine with TF-IDF free-text ranking, structured
+filters, facets, DataCite-schema validation, and per-record visibility
+ACLs — the "Data Publication" target of every flow (Sec. 2.2.3) and the
+backing store of the portal.
+"""
+
+from .datacite import make_record, validate_datacite
+from .index import (
+    FieldFilter,
+    GmetaEntry,
+    SearchHit,
+    SearchIndex,
+    SearchResults,
+)
+from .service import SearchService
+
+__all__ = [
+    "SearchIndex",
+    "SearchService",
+    "SearchHit",
+    "SearchResults",
+    "GmetaEntry",
+    "FieldFilter",
+    "make_record",
+    "validate_datacite",
+]

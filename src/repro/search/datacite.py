@@ -1,0 +1,77 @@
+"""DataCite-flavoured metadata schema for published records.
+
+The paper registers experiment metadata "defined by using an extensible
+schema based on DataCite".  This module defines that schema — required
+DataCite kernel fields (identifier, title, creator, publication year,
+resource type) plus the extensible ``subjects`` / ``dates`` /
+``descriptions`` blocks the portal renders — and validates documents
+before ingest.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SchemaError
+
+__all__ = ["validate_datacite", "make_record"]
+
+REQUIRED_FIELDS = ("identifier", "title", "creators", "publication_year", "resource_type")
+
+
+def validate_datacite(doc: dict[str, Any]) -> dict[str, Any]:
+    """Validate (and return) a DataCite-style document.
+
+    Raises :class:`SchemaError` naming every violated constraint.
+    """
+    if not isinstance(doc, dict):
+        raise SchemaError(f"record must be a dict, got {type(doc).__name__}")
+    problems = []
+    for f in REQUIRED_FIELDS:
+        if f not in doc:
+            problems.append(f"missing required field {f!r}")
+    if "identifier" in doc and not str(doc["identifier"]).strip():
+        problems.append("identifier must be non-empty")
+    if "creators" in doc:
+        creators = doc["creators"]
+        if not isinstance(creators, list) or not creators:
+            problems.append("creators must be a non-empty list")
+        elif not all(isinstance(c, str) and c.strip() for c in creators):
+            problems.append("every creator must be a non-empty string")
+    if "publication_year" in doc:
+        y = doc["publication_year"]
+        if not isinstance(y, int) or not 1900 <= y <= 2200:
+            problems.append(f"publication_year must be a plausible int, got {y!r}")
+    if "dates" in doc and not isinstance(doc["dates"], dict):
+        problems.append("dates must be a dict of label -> ISO string")
+    if "subjects" in doc:
+        subj = doc["subjects"]
+        if not isinstance(subj, list) or not all(isinstance(s, str) for s in subj):
+            problems.append("subjects must be a list of strings")
+    if problems:
+        raise SchemaError(f"invalid DataCite record: {'; '.join(problems)}")
+    return doc
+
+
+def make_record(
+    identifier: str,
+    title: str,
+    creators: list[str],
+    publication_year: int,
+    resource_type: str = "Dataset",
+    **extensions: Any,
+) -> dict[str, Any]:
+    """Build and validate a record in one call.
+
+    ``extensions`` become additional top-level fields (the "extensible"
+    part of the schema: experiment metadata, plot paths, etc.).
+    """
+    doc: dict[str, Any] = {
+        "identifier": identifier,
+        "title": title,
+        "creators": list(creators),
+        "publication_year": publication_year,
+        "resource_type": resource_type,
+    }
+    doc.update(extensions)
+    return validate_datacite(doc)

@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+The kernel executes the paper's 1-hour campaigns deterministically in
+milliseconds while preserving event ordering, queueing, and overlap.  See
+:mod:`repro.sim.core` for the process model, :mod:`repro.sim.resources`
+for shared resources, and :mod:`repro.sim.realtime` for wall-clock pacing.
+"""
+
+from .core import (
+    URGENT,
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from .realtime import RealtimeEnvironment
+from .resources import Request, Resource, Store
+
+__all__ = [
+    "Environment",
+    "RealtimeEnvironment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Request",
+    "Store",
+    "URGENT",
+    "NORMAL",
+]

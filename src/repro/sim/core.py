@@ -1,0 +1,464 @@
+"""Generator-based discrete-event simulation kernel.
+
+This is the substrate every simulated service (network fabric, transfer,
+batch scheduler, flow executor) runs on.  The design follows the classic
+process-interaction style (as popularized by SimPy): a *process* is a Python
+generator that yields events; the kernel resumes it when the yielded
+event fires.  The kernel is deliberately small, deterministic, and fully
+observable:
+
+* Events scheduled for the same timestamp fire in (priority, insertion)
+  order — identical inputs always produce identical traces.
+* Failures propagate: a process that yields a failed event has the
+  exception thrown into it at the ``yield``; an unhandled failure escapes
+  :meth:`Environment.run`.
+* Time is a float in seconds and never moves backwards.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for same-timestamp ordering: urgent events (process
+#: initialization, interrupts) fire before normal events (timeouts).
+URGENT = 0
+NORMAL = 1
+
+
+class _Pending:
+    """Sentinel for 'event has no value yet'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An event that may succeed (with a value) or fail (with an exception).
+
+    Lifecycle: *pending* → *triggered* (value set, scheduled on the queue)
+    → *processed* (callbacks ran).  Callbacks receive the event itself.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so :meth:`Environment.run` does
+        not re-raise its exception."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after construction."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=self.delay, priority=NORMAL)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running process.  As an :class:`Event`, it triggers when the
+    underlying generator returns (value = the generator's return value) or
+    raises (failure)."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not exited."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a dead process is an error; interrupting a process
+        about to be resumed is allowed (the interrupt wins).  If the
+        process terminates before the interrupt is delivered, the
+        interrupt is dropped silently.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env._active_process is self:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._deliver_interrupt)
+        self.env.schedule(event, priority=URGENT)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # terminated between interrupt() and delivery
+        # Detach from whatever the process is currently waiting on so the
+        # stale event cannot resume it a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s value."""
+        if self._value is not PENDING:
+            return  # stale wakeup of a terminated process
+        self.env._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    # The awaited event failed: throw into the generator.
+                    event.defused()
+                    next_target = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env.schedule(self, priority=NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self, priority=NORMAL)
+                break
+
+            if not isinstance(next_target, Event) or next_target.env is not self.env:
+                # Deliver the misuse error at the same yield point.
+                msg = (
+                    f"process yielded a non-event: {next_target!r}"
+                    if not isinstance(next_target, Event)
+                    else "cannot yield an event from another environment"
+                )
+                fake = Event(self.env)
+                fake._ok = False
+                fake._value = SimulationError(msg)
+                fake._defused = True
+                event = fake
+                continue
+            if next_target.processed:
+                # Already fired: loop immediately with its value.
+                event = next_target
+                continue
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            break
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Composite event over ``events`` that triggers once ``evaluate``
+    says enough of them have fired (see :class:`AllOf` / :class:`AnyOf`).
+
+    Succeeds with a dict mapping each *fired* constituent event to its
+    value, in the order the constituents were given.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = tuple(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for e in self._events:
+            if e.env is not env:
+                raise SimulationError("condition spans multiple environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for e in self._events:
+            if e.processed:
+                self._check(e)
+            else:
+                e.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused()
+            return
+        if not event._ok:
+            event.defused()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._count, len(self._events)):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when all constituent events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda done, total: done == total, events)
+
+
+class AnyOf(Condition):
+    """Fires when any constituent event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda done, total: done >= 1, events)
+
+
+class _StopRun(BaseException):
+    """Internal control-flow exception carrying run()'s return value."""
+
+
+class Environment:
+    """The event loop: a priority queue of (time, priority, seq, event)."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all of ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: any of ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Schedule ``event`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`SimulationError` if the queue is empty, and
+        re-raises the exception of any failed event nobody defused.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no more events") from None
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue drains, simulation time reaches ``until``
+        (a number), or ``until`` (an event) fires — returning its value."""
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:
+                    # Already processed: nothing to run.
+                    if stop._ok is False and not stop._defused:
+                        raise stop._value
+                    return stop._value
+                stop.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise SimulationError(
+                        f"run(until={at}) is in the past (now={self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                self.schedule(stop, delay=at - self._now, priority=URGENT)
+                stop.callbacks.append(self._stop_callback)
+        try:
+            while self._queue:
+                self.step()
+        except _StopRun as stop_exc:
+            return stop_exc.args[0]
+        if stop is not None and isinstance(until, Event):
+            raise SimulationError(
+                "run() finished: the until-event was never triggered"
+            )
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok is False and not event._defused:
+            raise event._value
+        raise _StopRun(event._value)

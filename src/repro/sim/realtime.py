@@ -1,0 +1,68 @@
+"""Wall-clock-paced environment.
+
+:class:`RealtimeEnvironment` runs the same event queue as
+:class:`~repro.sim.core.Environment` but sleeps between events so that one
+simulated second takes ``1 / speedup`` wall seconds.  Examples use it to
+demo the data flows "live" without waiting a real hour; tests and
+benchmarks always use the pure (as-fast-as-possible) environment.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from ..errors import SimulationError
+from .core import Environment
+
+__all__ = ["RealtimeEnvironment"]
+
+
+class RealtimeEnvironment(Environment):
+    """An :class:`Environment` synchronized to the wall clock.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting simulation time (seconds).
+    speedup:
+        Simulated seconds per wall second.  ``speedup=60`` plays one
+        simulated minute per real second.
+    strict:
+        If True, raise when event processing itself falls behind the wall
+        clock (useful to detect oversubscribed demos); if False (default),
+        lag is silently absorbed.
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        speedup: float = 1.0,
+        strict: bool = False,
+    ) -> None:
+        if speedup <= 0:
+            raise SimulationError(f"speedup must be positive, got {speedup}")
+        super().__init__(initial_time)
+        self.speedup = float(speedup)
+        self.strict = bool(strict)
+        self._wall_start: float | None = None
+        self._sim_start = float(initial_time)
+
+    def step(self) -> None:
+        """Sleep until the next event's wall-clock due time, then process it."""
+        if self._wall_start is None:
+            self._wall_start = _time.monotonic()
+        due_sim = self.peek()
+        if due_sim == float("inf"):
+            super().step()  # raises 'no more events'
+            return
+        due_wall = self._wall_start + (due_sim - self._sim_start) / self.speedup
+        while True:
+            delta = due_wall - _time.monotonic()
+            if delta <= 0:
+                break
+            _time.sleep(min(delta, 0.05))
+        if self.strict and _time.monotonic() - due_wall > 0.5 / self.speedup:
+            raise SimulationError(
+                f"realtime environment fell behind at t={due_sim:.3f}s"
+            )
+        super().step()

@@ -1,0 +1,170 @@
+"""Shared-resource primitives for the DES kernel.
+
+:class:`Resource`
+    A counted resource (e.g. compute nodes, transfer slots) with a FIFO
+    wait queue.  Requests are events; use them in ``with`` blocks inside
+    process generators so releases happen even on interrupt::
+
+        def job(env, nodes):
+            with nodes.request() as req:
+                yield req
+                yield env.timeout(10)   # hold one unit for 10 s
+
+:class:`Store`
+    An unbounded (or capacity-bounded) FIFO queue of Python objects with
+    blocking ``get``/``put`` events — the building block for task queues
+    and mailboxes between simulated services.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .core import Environment, Event, URGENT
+
+__all__ = ["Resource", "Request", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` unit.
+
+    Usable as a context manager: exiting the block releases the unit (or
+    cancels the request if it never succeeded).
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._on_request(self)
+
+    def release(self) -> None:
+        """Give the unit back (or withdraw a still-queued request)."""
+        self.resource._on_release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """``capacity`` interchangeable units with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Units currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        return Request(self)
+
+    # -- internal ---------------------------------------------------------
+    def _on_request(self, req: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+
+    def _on_release(self, req: Request) -> None:
+        if req in self.users:
+            self.users.remove(req)
+            self._grant_next()
+        else:
+            # Withdrawn before being granted (e.g. interrupted process).
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """FIFO object queue with blocking ``put``/``get``.
+
+    ``capacity`` bounds the number of stored items (default unbounded).
+    An optional ``filter`` on :meth:`get` retrieves the first matching
+    item (still FIFO among matches).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def pending_getters(self) -> int:
+        """Number of get() requests currently blocked."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` is accepted into the store."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event that fires with the next (matching) item."""
+        ev = Event(self.env)
+        self._getters.append((ev, filter))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move pending puts into the buffer while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed()
+                progress = True
+            # Satisfy getters from the buffer.
+            i = 0
+            while i < len(self._getters):
+                ev, flt = self._getters[i]
+                idx = None
+                if flt is None:
+                    if self.items:
+                        idx = 0
+                else:
+                    for j, item in enumerate(self.items):
+                        if flt(item):
+                            idx = j
+                            break
+                if idx is None:
+                    i += 1
+                    continue
+                item = self.items[idx]
+                del self.items[idx]
+                del self._getters[i]
+                ev.succeed(item)
+                progress = True

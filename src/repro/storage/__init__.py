@@ -1,0 +1,16 @@
+"""Virtual storage substrate.
+
+Campaign simulations move paper-scale files (91 MB … 1200 MB, hundreds of
+them) — materializing those on disk would make the 1-hour experiments
+unrunnable.  :class:`~repro.storage.vfs.VirtualFS` models a filesystem
+namespace whose files carry *sizes, checksums and metadata* but no
+payload bytes; the transfer fabric moves their byte counts, the watcher
+observes their creation events, and the analysis step reads their
+embedded :class:`~repro.emd.AcquisitionMetadata`.  Content-level
+experiments (Figs. 2–3) use real EMD files on the real filesystem
+instead.
+"""
+
+from .vfs import VirtualFS, VirtualFile
+
+__all__ = ["VirtualFS", "VirtualFile"]

@@ -1,0 +1,148 @@
+"""Virtual filesystem: named stores of metadata-bearing file records.
+
+A :class:`VirtualFS` is one storage system in the testbed — the PicoProbe
+user machine's transfer directory, or ALCF's Eagle Lustre store.  Files
+are :class:`VirtualFile` records: path, logical size, checksum, creation
+time, optional experiment metadata.  Subscribers (the directory watcher)
+receive creation events synchronously in simulation order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import posixpath
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Optional
+
+from ..emd.schema import AcquisitionMetadata
+from ..errors import EndpointError
+
+__all__ = ["VirtualFile", "VirtualFS"]
+
+
+def _norm(path: str) -> str:
+    # normpath preserves exactly two leading slashes (POSIX); strip first.
+    p = posixpath.normpath("/" + path.strip().lstrip("/"))
+    if p == "/":
+        raise EndpointError("file path must not be the root")
+    return p
+
+
+@dataclass(frozen=True)
+class VirtualFile:
+    """One file record in a virtual filesystem."""
+
+    path: str
+    size_bytes: float
+    checksum: str
+    created_at: float
+    kind: str = "emd"  # "emd" | "plot" | "video" | "other"
+    metadata: Optional[AcquisitionMetadata] = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def content_checksum(seed: str, size_bytes: float) -> str:
+        """Deterministic pseudo-checksum derived from a content seed and
+        size — two files 'contain' the same bytes iff both match."""
+        h = hashlib.sha256(f"{seed}:{size_bytes:.0f}".encode()).hexdigest()
+        return h[:32]
+
+
+class VirtualFS:
+    """A named file namespace with creation-event subscription."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._files: dict[str, VirtualFile] = {}
+        self._subscribers: list[Callable[[VirtualFile], None]] = []
+
+    # -- mutation ------------------------------------------------------------
+    def create(
+        self,
+        path: str,
+        size_bytes: float,
+        created_at: float,
+        checksum: Optional[str] = None,
+        kind: str = "emd",
+        metadata: Optional[AcquisitionMetadata] = None,
+        extra: Optional[dict[str, Any]] = None,
+        overwrite: bool = False,
+    ) -> VirtualFile:
+        """Add a file; notifies subscribers.  Overwriting requires
+        ``overwrite=True`` (mirrors the copier app re-staging a file)."""
+        p = _norm(path)
+        if p in self._files and not overwrite:
+            raise EndpointError(f"{self.name}:{p} already exists")
+        if size_bytes < 0:
+            raise EndpointError(f"negative file size: {size_bytes}")
+        f = VirtualFile(
+            path=p,
+            size_bytes=float(size_bytes),
+            checksum=checksum or VirtualFile.content_checksum(p, size_bytes),
+            created_at=float(created_at),
+            kind=kind,
+            metadata=metadata,
+            extra=dict(extra or {}),
+        )
+        self._files[p] = f
+        for cb in list(self._subscribers):
+            cb(f)
+        return f
+
+    def copy_in(self, source: VirtualFile, dest_path: str, now: float) -> VirtualFile:
+        """Register the arrival of ``source``'s content at ``dest_path``
+        (same checksum — used by the transfer service on completion)."""
+        p = _norm(dest_path)
+        f = replace(source, path=p, created_at=float(now))
+        self._files[p] = f
+        for cb in list(self._subscribers):
+            cb(f)
+        return f
+
+    def delete(self, path: str) -> None:
+        p = _norm(path)
+        if p not in self._files:
+            raise EndpointError(f"{self.name}:{p} does not exist")
+        del self._files[p]
+
+    # -- queries ---------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return _norm(path) in self._files
+
+    def stat(self, path: str) -> VirtualFile:
+        p = _norm(path)
+        try:
+            return self._files[p]
+        except KeyError:
+            raise EndpointError(f"{self.name}:{p} does not exist") from None
+
+    def listdir(self, prefix: str = "/") -> list[VirtualFile]:
+        """Files whose path starts with ``prefix`` (sorted by path)."""
+        pre = posixpath.normpath("/" + prefix.strip().lstrip("/"))
+        if not pre.endswith("/"):
+            pre += "/"
+        out = [f for p, f in self._files.items() if p.startswith(pre) or pre == "/"]
+        return sorted(out, key=lambda f: f.path)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __iter__(self) -> Iterator[VirtualFile]:
+        return iter(sorted(self._files.values(), key=lambda f: f.path))
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(f.size_bytes for f in self._files.values())
+
+    # -- events ----------------------------------------------------------------
+    def subscribe(self, callback: Callable[[VirtualFile], None]) -> Callable[[], None]:
+        """Register a creation-event callback; returns an unsubscriber."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe

@@ -1,0 +1,24 @@
+"""The Argonne-like testbed: one constructor wiring every substrate
+together under a calibrated parameter set (see ``calibration.py`` for
+how each number is derived from the paper's own arithmetic)."""
+
+from .argonne import (
+    EAGLE_EP,
+    PICOPROBE_EP,
+    POLARIS_EP,
+    PORTAL_INDEX,
+    Testbed,
+    build_testbed,
+)
+from .calibration import DEFAULT_CALIBRATION, Calibration
+
+__all__ = [
+    "Testbed",
+    "build_testbed",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "PICOPROBE_EP",
+    "EAGLE_EP",
+    "POLARIS_EP",
+    "PORTAL_INDEX",
+]

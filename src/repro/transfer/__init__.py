@@ -1,0 +1,20 @@
+"""Globus-Transfer-style data movement substrate.
+
+Authenticated endpoints over the network fabric with checksums,
+automatic retry, and a polled task API — the "Data Transfer" step of
+every flow (Sec. 2.2.1).
+"""
+
+from .endpoint import TransferEndpoint
+from .faults import NO_FAULTS, FaultPlan
+from .service import TransferService
+from .task import TaskStatus, TransferTask
+
+__all__ = [
+    "TransferEndpoint",
+    "TransferService",
+    "TransferTask",
+    "TaskStatus",
+    "FaultPlan",
+    "NO_FAULTS",
+]

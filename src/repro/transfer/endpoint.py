@@ -1,0 +1,69 @@
+"""Globus-Connect-style transfer endpoints.
+
+An endpoint binds a storage namespace (:class:`~repro.storage.VirtualFS`)
+to a network host in the topology and carries an access policy.  The
+testbed defines one on the PicoProbe user machine and one on ALCF Eagle,
+mirroring Sec. 2.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..auth import AccessPolicy
+from ..storage import VirtualFS
+
+__all__ = ["TransferEndpoint"]
+
+
+@dataclass
+class TransferEndpoint:
+    """A named Globus-Connect-style endpoint.
+
+    Parameters
+    ----------
+    name:
+        Endpoint display name / id (e.g. ``"picoprobe-user"``).
+    host:
+        Topology node this endpoint's storage is attached to.
+    vfs:
+        The storage namespace served by this endpoint.
+    policy:
+        Read/write ACL enforced by the transfer service.
+    efficiency:
+        Asymptotic fraction of the fair-share network rate this
+        endpoint's transfer stack achieves (protocol, TLS, and
+        filesystem overhead).  The paper's effective per-task throughput
+        (~7-11 MB/s on a 1 Gbps switch) comes from this factor; see
+        ``testbed/calibration.py``.
+    ramp_bytes:
+        TCP/stream ramp-up scale: a transfer of ``n`` bytes achieves
+        ``efficiency * n / (n + ramp_bytes)`` of its fair share, so
+        small files see proportionally lower throughput (as the paper's
+        91 MB files do relative to its 1200 MB files).
+    startup_latency_s:
+        Per-task handshake time before bytes flow (control channel,
+        endpoint activation).
+    """
+
+    name: str
+    host: str
+    vfs: VirtualFS
+    policy: AccessPolicy = field(default_factory=AccessPolicy)
+    efficiency: float = 1.0
+    ramp_bytes: float = 0.0
+    startup_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.ramp_bytes < 0:
+            raise ValueError("ramp_bytes must be >= 0")
+        if self.startup_latency_s < 0:
+            raise ValueError("startup latency must be >= 0")
+
+    def effective_efficiency(self, nbytes: float) -> float:
+        """Size-dependent achieved fraction of the fair share."""
+        if self.ramp_bytes <= 0 or nbytes <= 0:
+            return self.efficiency
+        return self.efficiency * nbytes / (nbytes + self.ramp_bytes)

@@ -1,0 +1,226 @@
+"""The transfer service: a cloud-hosted, polled, authenticated mover.
+
+Mirrors the Globus Transfer model the paper relies on (Sec. 2.2.1):
+
+* clients **submit** a task (authenticated, ACL-checked) and receive a
+  task id;
+* the service drives the data movement through endpoint agents — here,
+  streams on the :class:`~repro.net.NetworkFabric` — with per-file
+  checksum verification and automatic retry;
+* clients **poll** task status by id (which is exactly what the flow
+  executor's exponential-backoff loop does).
+
+Timing model: a submission round-trip latency (cloud API), per-endpoint
+startup handshakes, fair-share network time scaled by endpoint
+efficiency, and a checksum-verification time proportional to file size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..auth import ScopeAuthorizer, Token
+from ..auth.identity import TRANSFER_SCOPE, AuthClient
+from ..errors import EndpointError, TransferError
+from ..net import NetworkFabric
+from ..rng import RngRegistry, lognormal_from_median
+from ..sim import Environment, Event
+from .endpoint import TransferEndpoint
+from .faults import NO_FAULTS, FaultPlan
+from .task import TaskStatus, TransferTask
+
+__all__ = ["TransferService"]
+
+
+class TransferService:
+    """Authenticated, fault-tolerant file mover over the network fabric.
+
+    Parameters
+    ----------
+    env, fabric:
+        Simulation environment and the shared network.
+    auth:
+        Identity provider used to validate tokens.
+    rngs:
+        Random streams for latency jitter and fault draws.
+    api_latency_s:
+        Median round-trip of one service API call (submit or poll).
+    checksum_bytes_per_s:
+        Verification throughput used to charge checksum time.
+    fault_plan:
+        Fault-injection plan applied to every attempt.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        auth: AuthClient,
+        rngs: Optional[RngRegistry] = None,
+        api_latency_s: float = 0.25,
+        latency_sigma: float = 0.3,
+        throughput_sigma: float = 0.0,
+        checksum_bytes_per_s: float = 400e6,
+        fault_plan: FaultPlan = NO_FAULTS,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.authorizer = ScopeAuthorizer(auth, TRANSFER_SCOPE)
+        self.rngs = rngs or RngRegistry(seed=0)
+        self.api_latency_s = float(api_latency_s)
+        self.latency_sigma = float(latency_sigma)
+        self.throughput_sigma = float(throughput_sigma)
+        self.checksum_bytes_per_s = float(checksum_bytes_per_s)
+        self.fault_plan = fault_plan
+        self._endpoints: dict[str, TransferEndpoint] = {}
+        self._tasks: dict[str, TransferTask] = {}
+        self._task_events: dict[str, Event] = {}
+        self._ids = itertools.count(1)
+
+    # -- endpoint registry ---------------------------------------------------
+    def register_endpoint(self, endpoint: TransferEndpoint) -> None:
+        if endpoint.name in self._endpoints:
+            raise EndpointError(f"endpoint already registered: {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> TransferEndpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise EndpointError(f"unknown endpoint: {name!r}") from None
+
+    # -- client API -----------------------------------------------------------
+    def submit(
+        self,
+        token: Token,
+        source_endpoint: str,
+        source_path: str,
+        dest_endpoint: str,
+        dest_path: str,
+    ) -> str:
+        """Submit a transfer; returns the task id immediately.
+
+        Authentication, ACL checks, and source existence are validated at
+        submission (as Globus does); the data movement runs
+        asynchronously.
+        """
+        identity = self.authorizer.authorize(token, self.env.now)
+        src = self.endpoint(source_endpoint)
+        dst = self.endpoint(dest_endpoint)
+        src.policy.check_read(identity, what=f"endpoint {src.name}")
+        dst.policy.check_write(identity, what=f"endpoint {dst.name}")
+        source_file = src.vfs.stat(source_path)  # raises if missing
+
+        task = TransferTask(
+            task_id=f"xfer-{next(self._ids):06d}",
+            owner=identity.username,
+            source_endpoint=source_endpoint,
+            source_path=source_path,
+            dest_endpoint=dest_endpoint,
+            dest_path=dest_path,
+            nbytes=source_file.size_bytes,
+            requested_at=self.env.now,
+        )
+        self._tasks[task.task_id] = task
+        self._task_events[task.task_id] = self.env.event()
+        self.env.process(self._execute(task, src, dst))
+        return task.task_id
+
+    def get_task(self, token: Token, task_id: str) -> dict:
+        """Poll a task's status snapshot (authenticated)."""
+        self.authorizer.authorize(token, self.env.now)
+        try:
+            return self._tasks[task_id].snapshot()
+        except KeyError:
+            raise TransferError(f"unknown task: {task_id!r}") from None
+
+    def task_record(self, task_id: str) -> TransferTask:
+        """Internal/inspection access to the full task record."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TransferError(f"unknown task: {task_id!r}") from None
+
+    def wait(self, task_id: str) -> Event:
+        """DES event firing when the task reaches a terminal state.
+
+        (Test/diagnostic convenience — production clients poll, as the
+        flow executor does.)
+        """
+        try:
+            return self._task_events[task_id]
+        except KeyError:
+            raise TransferError(f"unknown task: {task_id!r}") from None
+
+    # -- execution -----------------------------------------------------------
+    def _jitter(self, median: float) -> float:
+        rng = self.rngs.stream("transfer.latency")
+        return lognormal_from_median(rng, median, self.latency_sigma)
+
+    def _execute(self, task: TransferTask, src: TransferEndpoint, dst: TransferEndpoint) -> Generator:
+        rng = self.rngs.stream("transfer.faults")
+        # Submission processing in the cloud service.
+        yield self.env.timeout(self._jitter(self.api_latency_s))
+        task.status = TaskStatus.ACTIVE
+        task.started_at = self.env.now
+        source_file = src.vfs.stat(task.source_path)
+
+        while True:
+            task.attempts += 1
+            # Endpoint handshakes (control channel setup on both sides).
+            startup = src.startup_latency_s + dst.startup_latency_s
+            if startup > 0:
+                yield self.env.timeout(self._jitter(startup))
+
+            fault = self.fault_plan.draw(rng)
+            nbytes = source_file.size_bytes
+            efficiency = min(
+                src.effective_efficiency(nbytes), dst.effective_efficiency(nbytes)
+            )
+            # Per-task throughput jitter (disk contention, TCP luck).
+            jitter = lognormal_from_median(
+                self.rngs.stream("transfer.throughput"), 1.0, self.throughput_sigma
+            )
+            efficiency = float(min(1.0, max(1e-6, efficiency * jitter)))
+
+            if fault == "transient":
+                # Channel drops partway: burn a random fraction of the
+                # transfer time, then retry.
+                frac = float(rng.uniform(0.05, 0.9))
+                partial = self.fabric.transfer(
+                    src.host, dst.host, source_file.size_bytes * frac, efficiency
+                )
+                yield partial
+                task.faults.append(f"transient fault on attempt {task.attempts}")
+            else:
+                done = self.fabric.transfer(
+                    src.host, dst.host, source_file.size_bytes, efficiency
+                )
+                yield done
+                # Checksum verification at the destination.
+                if self.checksum_bytes_per_s > 0 and source_file.size_bytes > 0:
+                    yield self.env.timeout(
+                        source_file.size_bytes / self.checksum_bytes_per_s
+                    )
+                if fault == "corrupt":
+                    task.faults.append(
+                        f"checksum mismatch on attempt {task.attempts}"
+                    )
+                else:
+                    dst.vfs.copy_in(source_file, task.dest_path, now=self.env.now)
+                    task.status = TaskStatus.SUCCEEDED
+                    task.completed_at = self.env.now
+                    self._task_events[task.task_id].succeed(task)
+                    return
+
+            if task.attempts >= self.fault_plan.max_attempts:
+                task.status = TaskStatus.FAILED
+                task.completed_at = self.env.now
+                task.error = (
+                    f"exhausted {task.attempts} attempts: {task.faults[-1]}"
+                )
+                self._task_events[task.task_id].succeed(task)
+                return

@@ -1,0 +1,137 @@
+"""Physical quantities used throughout the simulator.
+
+All internal APIs exchange plain floats in **base units** — bytes, seconds,
+bytes/second — so hot paths never pay object overhead (see the optimization
+guide: measure first, keep inner loops on scalars/arrays).  This module
+provides named constructors and formatters so call sites stay legible:
+
+    >>> from repro.units import MB, Gbps, format_bytes
+    >>> MB(91)
+    91000000.0
+    >>> Gbps(1)
+    125000000.0
+    >>> format_bytes(MB(1200))
+    '1.20 GB'
+
+Decimal (SI) prefixes are used for file sizes and link rates, matching how
+the paper reports them (91 MB, 1200 MB, 1 Gbps, 6.42 GB).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "KiB", "MiB", "GiB",
+    "bps", "Kbps", "Mbps", "Gbps",
+    "seconds", "minutes", "hours",
+    "format_bytes", "format_rate", "format_duration",
+]
+
+_KB = 1e3
+_MB = 1e6
+_GB = 1e9
+_TB = 1e12
+
+
+def KB(n: float) -> float:
+    """``n`` kilobytes in bytes (decimal)."""
+    return float(n) * _KB
+
+
+def MB(n: float) -> float:
+    """``n`` megabytes in bytes (decimal)."""
+    return float(n) * _MB
+
+
+def GB(n: float) -> float:
+    """``n`` gigabytes in bytes (decimal)."""
+    return float(n) * _GB
+
+
+def TB(n: float) -> float:
+    """``n`` terabytes in bytes (decimal)."""
+    return float(n) * _TB
+
+
+def KiB(n: float) -> float:
+    """``n`` kibibytes in bytes (binary)."""
+    return float(n) * 1024.0
+
+
+def MiB(n: float) -> float:
+    """``n`` mebibytes in bytes (binary)."""
+    return float(n) * 1024.0**2
+
+
+def GiB(n: float) -> float:
+    """``n`` gibibytes in bytes (binary)."""
+    return float(n) * 1024.0**3
+
+
+def bps(n: float) -> float:
+    """``n`` bits/second as bytes/second."""
+    return float(n) / 8.0
+
+
+def Kbps(n: float) -> float:
+    """``n`` kilobits/second as bytes/second."""
+    return float(n) * _KB / 8.0
+
+
+def Mbps(n: float) -> float:
+    """``n`` megabits/second as bytes/second."""
+    return float(n) * _MB / 8.0
+
+
+def Gbps(n: float) -> float:
+    """``n`` gigabits/second as bytes/second."""
+    return float(n) * _GB / 8.0
+
+
+def seconds(n: float) -> float:
+    """Identity, for symmetry at call sites."""
+    return float(n)
+
+
+def minutes(n: float) -> float:
+    """``n`` minutes in seconds."""
+    return float(n) * 60.0
+
+
+def hours(n: float) -> float:
+    """``n`` hours in seconds."""
+    return float(n) * 3600.0
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable decimal byte count: ``format_bytes(6.42e9) == '6.42 GB'``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, factor in (("TB", _TB), ("GB", _GB), ("MB", _MB), ("kB", _KB)):
+        if n >= factor:
+            return f"{sign}{n / factor:.2f} {unit}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Human-readable rate in bits/second: ``format_rate(Gbps(1)) == '1.00 Gbps'``."""
+    bits = float(bytes_per_second) * 8.0
+    for unit, factor in (("Tbps", _TB), ("Gbps", _GB), ("Mbps", _MB), ("kbps", _KB)):
+        if bits >= factor:
+            return f"{bits / factor:.2f} {unit}"
+    return f"{bits:.0f} bps"
+
+
+def format_duration(secs: float) -> str:
+    """Compact ``h:mm:ss`` / ``m:ss`` / ``s`` rendering of a duration."""
+    secs = float(secs)
+    sign = "-" if secs < 0 else ""
+    secs = abs(secs)
+    if secs < 60:
+        return f"{sign}{secs:.1f}s"
+    m, s = divmod(int(round(secs)), 60)
+    if m < 60:
+        return f"{sign}{m}m{s:02d}s"
+    h, m = divmod(m, 60)
+    return f"{sign}{h}h{m:02d}m{s:02d}s"

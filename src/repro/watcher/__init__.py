@@ -1,0 +1,8 @@
+"""Directory-watching substrate (watchdog stand-in): observers over real
+and virtual filesystems plus the flow-repeat checkpoint store."""
+
+from .checkpoint import CheckpointStore
+from .events import FileCreatedEvent
+from .observer import PollingObserver, SimObserver
+
+__all__ = ["FileCreatedEvent", "PollingObserver", "SimObserver", "CheckpointStore"]

@@ -1,0 +1,85 @@
+"""Flow-trigger checkpointing.
+
+The paper: "We also provide an automatic checkpointing mechanism to
+avoid undesired flow repeats in cases where a user needs to resume
+experimentation after interruption, e.g., if the user computer needs to
+be rebooted or the user resumes a set of experiments on a subsequent
+day."
+
+:class:`CheckpointStore` records which files have already triggered a
+flow, keyed by path + checksum (so a *re-acquired* file with new content
+does trigger again).  With a ``path`` it persists as JSON and survives
+restarts; without one it is in-memory (simulation use).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from ..errors import CheckpointError
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Persistent (or in-memory) set of already-processed files."""
+
+    def __init__(self, path: "str | os.PathLike | None" = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._seen: dict[str, str] = {}  # file path -> checksum
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"corrupt checkpoint file {self.path}: {exc}") from exc
+        if not isinstance(doc, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in doc.items()
+        ):
+            raise CheckpointError(f"malformed checkpoint file {self.path}")
+        self._seen = doc
+
+    def _flush(self) -> None:
+        if self.path is None:
+            return
+        # Atomic replace so a crash mid-write never corrupts the store.
+        d = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=d, prefix=".ckpt-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self._seen, fh)
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise CheckpointError(f"cannot write checkpoint {self.path}: {exc}") from exc
+
+    # -- API ---------------------------------------------------------------
+    def is_processed(self, path: str, checksum: str) -> bool:
+        """Has this exact content at this path already triggered a flow?"""
+        return self._seen.get(path) == checksum
+
+    def mark_processed(self, path: str, checksum: str) -> None:
+        """Record (and persist) that ``path``/``checksum`` was handled."""
+        self._seen[path] = checksum
+        self._flush()
+
+    def forget(self, path: str) -> None:
+        """Drop a record (e.g. to force reprocessing)."""
+        self._seen.pop(path, None)
+        self._flush()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._seen

@@ -1,0 +1,30 @@
+"""File-event types dispatched by the observers (watchdog stand-in)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..storage import VirtualFile
+
+__all__ = ["FileCreatedEvent"]
+
+
+@dataclass(frozen=True)
+class FileCreatedEvent:
+    """A new file appeared under a watched root.
+
+    ``virtual`` is set when the event came from a simulated filesystem;
+    real-filesystem events carry only path/size/mtime.
+    """
+
+    path: str
+    size_bytes: float
+    mtime: float
+    virtual: Optional[VirtualFile] = None
+
+    @property
+    def is_emd(self) -> bool:
+        return self.path.endswith(".emd") or (
+            self.virtual is not None and self.virtual.kind == "emd"
+        )

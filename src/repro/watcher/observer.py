@@ -1,0 +1,133 @@
+"""Directory observers: the cross-platform watcher application.
+
+The paper's trigger is "a cross-compatible Python application for
+Windows 10, macOS, and Linux that uses the watchdog package to start a
+new flow when files are created on the user machine".  Two observers
+share one handler interface:
+
+* :class:`PollingObserver` — watches a **real** directory by scanning it
+  (the portable fallback watchdog itself uses); drive it with
+  :meth:`PollingObserver.poll_once` or :meth:`PollingObserver.run_for`.
+* :class:`SimObserver` — watches a :class:`~repro.storage.VirtualFS`
+  inside the simulation, receiving creation events in event order.
+
+Handlers are callables ``(FileCreatedEvent) -> None``; filtering by
+suffix keeps temporary files from triggering flows.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+from ..errors import WatcherError
+from ..storage import VirtualFS, VirtualFile
+from .events import FileCreatedEvent
+
+__all__ = ["PollingObserver", "SimObserver"]
+
+Handler = Callable[[FileCreatedEvent], None]
+
+
+class PollingObserver:
+    """Scan-based watcher over a real directory tree."""
+
+    def __init__(
+        self,
+        root: "str | os.PathLike",
+        suffixes: tuple[str, ...] = (".emd",),
+        recursive: bool = True,
+    ) -> None:
+        self.root = os.fspath(root)
+        if not os.path.isdir(self.root):
+            raise WatcherError(f"watched root is not a directory: {self.root}")
+        self.suffixes = suffixes
+        self.recursive = recursive
+        self._handlers: list[Handler] = []
+        self._known: set[str] = set(self._scan())
+
+    def add_handler(self, handler: Handler) -> None:
+        self._handlers.append(handler)
+
+    def _scan(self) -> list[str]:
+        if not os.path.isdir(self.root):
+            raise WatcherError(f"watched root disappeared: {self.root}")
+        out = []
+        if self.recursive:
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for name in filenames:
+                    out.append(os.path.join(dirpath, name))
+        else:
+            with os.scandir(self.root) as it:
+                out = [e.path for e in it if e.is_file()]
+        return [p for p in out if p.endswith(self.suffixes)] if self.suffixes else out
+
+    def poll_once(self) -> list[FileCreatedEvent]:
+        """Scan once; dispatch and return events for files new since the
+        previous scan."""
+        current = set(self._scan())
+        created = sorted(current - self._known)
+        self._known = current
+        events = []
+        for path in created:
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # vanished between scan and stat
+            ev = FileCreatedEvent(path=path, size_bytes=st.st_size, mtime=st.st_mtime)
+            events.append(ev)
+            for h in list(self._handlers):
+                h(ev)
+        return events
+
+    def run_for(self, duration_s: float, interval_s: float = 0.2) -> int:
+        """Blocking poll loop for ``duration_s`` wall seconds; returns the
+        number of events dispatched.  (Examples/demos only — tests and
+        simulations use :class:`SimObserver`.)"""
+        if interval_s <= 0:
+            raise WatcherError("interval must be positive")
+        deadline = time.monotonic() + duration_s
+        n = 0
+        while time.monotonic() < deadline:
+            n += len(self.poll_once())
+            time.sleep(interval_s)
+        return n
+
+
+class SimObserver:
+    """Creation-event watcher over a virtual filesystem."""
+
+    def __init__(
+        self,
+        vfs: VirtualFS,
+        prefix: str = "/",
+        suffixes: tuple[str, ...] = (".emd",),
+    ) -> None:
+        self.vfs = vfs
+        self.prefix = "/" + prefix.strip("/")
+        self.suffixes = suffixes
+        self._handlers: list[Handler] = []
+        self._unsubscribe: Optional[Callable[[], None]] = vfs.subscribe(self._on_create)
+        self.events_seen = 0
+
+    def add_handler(self, handler: Handler) -> None:
+        self._handlers.append(handler)
+
+    def _on_create(self, f: VirtualFile) -> None:
+        if self.prefix != "/" and not f.path.startswith(self.prefix + "/"):
+            return
+        if self.suffixes and not f.path.endswith(self.suffixes):
+            return
+        self.events_seen += 1
+        ev = FileCreatedEvent(
+            path=f.path, size_bytes=f.size_bytes, mtime=f.created_at, virtual=f
+        )
+        for h in list(self._handlers):
+            h(ev)
+
+    def stop(self) -> None:
+        """Detach from the filesystem."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_campaign_command(capsys):
+    rc = main(["campaign", "hyperspectral", "--duration", "600", "--seed", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Total flow runs" in out
+    assert "Hyperspectral" in out
+
+
+def test_campaign_both(capsys):
+    rc = main(["campaign", "both", "--duration", "400"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Hyperspectral" in out and "Spatiotemporal" in out
+
+
+def test_portal_command(tmp_path, capsys):
+    rc = main(["portal", "--duration", "400", "--output", str(tmp_path / "site")])
+    assert rc == 0
+    assert (tmp_path / "site" / "index.html").exists()
+
+
+def test_quicklook_command(tmp_path, capsys):
+    rc = main(["quicklook", "--output", str(tmp_path / "ql")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "detected elements" in out
+    assert list((tmp_path / "ql").glob("*.emd"))
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_rejects_unknown_use_case():
+    with pytest.raises(SystemExit):
+        main(["campaign", "tomography"])

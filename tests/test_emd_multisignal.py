@@ -1,0 +1,71 @@
+"""EMD files holding multiple signal groups (the hierarchical case)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emd import EmdFile, H5LiteWriter
+from repro.emd.emdfile import EMD_GROUP_TYPE, EMD_VERSION
+from repro.errors import FormatError
+
+
+def write_two_signal_file(path):
+    """Hand-build an EMD container with two signal groups."""
+    with H5LiteWriter(path) as w:
+        root = w.require_group("/")
+        root.attrs["version_major"] = EMD_VERSION[0]
+        root.attrs["version_minor"] = EMD_VERSION[1]
+        for name, shape in (("scan_a", (4, 4, 8)), ("scan_b", (6, 6, 8))):
+            g = w.require_group(f"data/{name}")
+            g.attrs["emd_group_type"] = EMD_GROUP_TYPE
+            g.attrs["signal_type"] = "hyperspectral"
+            w.create_dataset(f"data/{name}/data", np.random.default_rng(0).random(shape))
+            for ax, n in enumerate(shape, start=1):
+                w.create_dataset(f"data/{name}/dim{ax}", np.arange(float(n)))
+                mg = w.require_group(f"data/{name}/_dim{ax}_meta")
+                mg.attrs["name"] = f"axis{ax}"
+                mg.attrs["units"] = "px"
+
+
+def test_multiple_signals_enumerated(tmp_path):
+    path = tmp_path / "multi.emd"
+    write_two_signal_file(path)
+    with EmdFile(path) as f:
+        assert f.signal_names() == ["scan_a", "scan_b"]
+        a = f.signal("scan_a")
+        b = f.signal("scan_b")
+        assert a.shape == (4, 4, 8)
+        assert b.shape == (6, 6, 8)
+
+
+def test_ambiguous_default_signal_raises(tmp_path):
+    path = tmp_path / "multi.emd"
+    write_two_signal_file(path)
+    with EmdFile(path) as f:
+        with pytest.raises(FormatError, match="exactly one signal"):
+            f.signal()
+
+
+def test_non_signal_group_rejected(tmp_path):
+    path = tmp_path / "odd.emd"
+    with H5LiteWriter(path) as w:
+        root = w.require_group("/")
+        root.attrs["version_major"] = EMD_VERSION[0]
+        root.attrs["version_minor"] = EMD_VERSION[1]
+        g = w.require_group("data/notasignal")
+        g.attrs["comment"] = "no emd_group_type marker"
+        w.create_dataset("data/notasignal/data", np.zeros((2, 2)))
+    with EmdFile(path) as f:
+        with pytest.raises(FormatError, match="not an EMD signal group"):
+            f.signal("notasignal")
+
+
+def test_wrong_version_rejected(tmp_path):
+    path = tmp_path / "old.emd"
+    with H5LiteWriter(path) as w:
+        root = w.require_group("/")
+        root.attrs["version_major"] = 99
+        root.attrs["version_minor"] = 0
+    with pytest.raises(FormatError, match="version"):
+        EmdFile(path)

@@ -1,0 +1,100 @@
+"""Tests for the future-work extensions (compression, 4-D use case)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import run_campaign, use_case_by_name
+from repro.core.extensions import (
+    COMPRESS_STATE,
+    CompressionSpec,
+    LZ4_LIKE,
+    SPECTRAL_MOVIE_USE_CASE,
+    ZSTD_LIKE,
+    analyze_virtual_spectral_movie,
+    spectral_movie_cost_model,
+)
+from repro.core.functions import file_descriptor
+from repro.core.tools import TRANSFER_STATE
+from repro.errors import FlowError
+from repro.instrument import PicoProbe
+from repro.rng import RngRegistry
+from repro.search import validate_datacite
+from repro.storage import VirtualFS
+from repro.testbed import DEFAULT_CALIBRATION
+
+
+def test_compression_spec_validation():
+    with pytest.raises(FlowError):
+        CompressionSpec("bad", ratio=0.5, compress_bytes_per_s=1e6)
+    with pytest.raises(FlowError):
+        CompressionSpec("bad", ratio=2.0, compress_bytes_per_s=0)
+
+
+def test_compressed_campaign_has_compress_step():
+    res = run_campaign(
+        "spatiotemporal", duration_s=900, seed=2, compression=ZSTD_LIKE
+    )
+    run = res.completed_runs[0]
+    names = [s.name for s in run.steps]
+    assert names[0] == COMPRESS_STATE
+    assert TRANSFER_STATE in names
+    # The transfer moved the compressed byte count.
+    xfer = run.step(TRANSFER_STATE)
+    expected = SPECTRAL_MOVIE_USE_CASE  # silence linter; real check below
+    assert xfer.result["bytes"] == pytest.approx(1200e6 / ZSTD_LIKE.ratio)
+
+
+def test_compression_shrinks_transfer_time():
+    base = run_campaign("spatiotemporal", duration_s=1200, seed=2)
+    comp = run_campaign("spatiotemporal", duration_s=1200, seed=2, compression=ZSTD_LIKE)
+
+    def median_transfer(res):
+        return float(
+            np.median([r.step(TRANSFER_STATE).active_seconds for r in res.completed_runs])
+        )
+
+    assert median_transfer(comp) < median_transfer(base) * 0.7
+
+
+def test_compression_charges_local_time():
+    res = run_campaign("spatiotemporal", duration_s=900, seed=2, compression=ZSTD_LIKE)
+    run = res.completed_runs[0]
+    step = run.step(COMPRESS_STATE)
+    # 1.2 GB at 140 MB/s ≈ 8.6 s of user-machine work.
+    assert 4 < step.active_seconds < 20
+
+
+def test_invalid_compression_argument():
+    with pytest.raises(ValueError, match="CompressionSpec"):
+        run_campaign("spatiotemporal", duration_s=300, compression="zstd")
+
+
+def test_spectral_movie_use_case_registered():
+    uc = use_case_by_name("spectral-movie")
+    assert uc is SPECTRAL_MOVIE_USE_CASE
+    assert uc.file_size_bytes == pytest.approx(9.6e9)
+    assert len(uc.shape) == 4
+
+
+def test_spectral_movie_virtual_analysis():
+    probe = PicoProbe(RngRegistry(0), operator="x")
+    uc = SPECTRAL_MOVIE_USE_CASE
+    md = probe.stamp_metadata(uc.signal_type, uc.shape, uc.dtype, uc.sample, 0.0)
+    fs = VirtualFS("u")
+    vf = fs.create("/transfer/sm.emd", uc.file_size_bytes, created_at=0, metadata=md)
+    doc = analyze_virtual_spectral_movie(file_descriptor(vf, "/eagle/sm.emd"))
+    validate_datacite(doc)
+    assert doc["experiment"]["shape"] == [600, 200, 200, 100]
+    assert "elemental_timeseries" in doc["derived_products"]
+
+    cost = spectral_movie_cost_model(DEFAULT_CALIBRATION, RngRegistry(0))
+    c = np.median([cost((), {"file": file_descriptor(vf, "/d")}) for _ in range(30)])
+    # ~33 s/GB * 9.6 GB + 600 frames * 0.013 ≈ 325 s.
+    assert 200 < c < 500
+
+
+def test_spectral_movie_campaign_completes_few_flows():
+    res = run_campaign("spectral-movie", seed=3)
+    assert 1 <= len(res.completed_runs) <= 4  # "vastly increasing data volume"

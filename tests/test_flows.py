@@ -1,0 +1,357 @@
+"""Tests for the flows substrate: backoff, definitions, executor, Gladier."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.auth import AuthClient
+from repro.auth.identity import FLOWS_SCOPE
+from repro.errors import FlowDefinitionError, FlowError
+from repro.flows import (
+    ActionState,
+    ActionStatus,
+    ConstantBackoff,
+    ExponentialBackoff,
+    FlowDefinition,
+    FlowState,
+    FlowsService,
+    GladierClient,
+    GladierTool,
+    PAPER_BACKOFF,
+    RunStatus,
+    resolve_template,
+)
+from repro.rng import RngRegistry
+from repro.sim import Environment
+
+
+# -- backoff -------------------------------------------------------------------
+
+
+def test_paper_backoff_doubles_to_ten_minutes():
+    it = PAPER_BACKOFF.intervals()
+    seq = [next(it) for _ in range(12)]
+    assert seq[:5] == [1, 2, 4, 8, 16]
+    assert max(seq) == 600.0
+    assert seq[-1] == 600.0  # capped
+
+
+def test_backoff_validation():
+    with pytest.raises(FlowError):
+        ExponentialBackoff(initial=0)
+    with pytest.raises(FlowError):
+        ExponentialBackoff(factor=0.5)
+    with pytest.raises(FlowError):
+        ExponentialBackoff(initial=10, max_interval=5)
+    with pytest.raises(FlowError):
+        ConstantBackoff(0)
+
+
+def test_constant_backoff():
+    it = ConstantBackoff(2.5).intervals()
+    assert [next(it) for _ in range(3)] == [2.5, 2.5, 2.5]
+
+
+# -- templates -------------------------------------------------------------------
+
+
+def test_resolve_template_paths():
+    ctx = {"input": {"path": "/a.emd"}, "states": {"T": {"dest": "/b.emd"}}}
+    assert resolve_template("$.input.path", ctx) == "/a.emd"
+    assert resolve_template("$.states.T.dest", ctx) == "/b.emd"
+    assert resolve_template({"x": "$.input.path", "y": 5}, ctx) == {"x": "/a.emd", "y": 5}
+    assert resolve_template(["$.input.path", "lit"], ctx) == ["/a.emd", "lit"]
+    assert resolve_template("literal", ctx) == "literal"
+
+
+def test_resolve_template_missing_path():
+    with pytest.raises(FlowDefinitionError):
+        resolve_template("$.input.nope", {"input": {}})
+
+
+# -- definitions -------------------------------------------------------------------
+
+
+def linear_def(n=3):
+    states = tuple(
+        FlowState(name=f"S{i}", provider="mock", next=(f"S{i+1}" if i < n - 1 else None))
+        for i in range(n)
+    )
+    return FlowDefinition(title="t", start_at="S0", states=states)
+
+
+def test_definition_valid_linear():
+    d = linear_def()
+    assert [s.name for s in d.ordered_states()] == ["S0", "S1", "S2"]
+    assert d.n_transitions == 4
+
+
+def test_definition_rejects_empty():
+    with pytest.raises(FlowDefinitionError, match="no states"):
+        FlowDefinition(title="t", start_at="x", states=())
+
+
+def test_definition_rejects_bad_start():
+    with pytest.raises(FlowDefinitionError, match="start state"):
+        FlowDefinition(title="t", start_at="zzz", states=(FlowState("a", "p"),))
+
+
+def test_definition_rejects_unknown_transition():
+    with pytest.raises(FlowDefinitionError, match="unknown state"):
+        FlowDefinition(
+            title="t", start_at="a", states=(FlowState("a", "p", next="ghost"),)
+        )
+
+
+def test_definition_rejects_duplicates():
+    with pytest.raises(FlowDefinitionError, match="duplicate"):
+        FlowDefinition(
+            title="t", start_at="a", states=(FlowState("a", "p"), FlowState("a", "p"))
+        )
+
+
+def test_definition_rejects_cycle():
+    with pytest.raises(FlowDefinitionError, match="cycle"):
+        FlowDefinition(
+            title="t",
+            start_at="a",
+            states=(FlowState("a", "p", next="b"), FlowState("b", "p", next="a")),
+        )
+
+
+def test_definition_rejects_unreachable():
+    with pytest.raises(FlowDefinitionError, match="unreachable"):
+        FlowDefinition(
+            title="t",
+            start_at="a",
+            states=(FlowState("a", "p"), FlowState("orphan", "p")),
+        )
+
+
+# -- executor with a mock provider ------------------------------------------------------
+
+
+class MockProvider:
+    """Completes each action a fixed duration after submission."""
+
+    name = "mock"
+
+    def __init__(self, env, duration=5.0, fail=False):
+        self.env = env
+        self.duration = duration
+        self.fail = fail
+        self._ids = itertools.count(1)
+        self._start: dict[str, float] = {}
+        self.bodies: list[dict] = []
+
+    def run(self, body):
+        self.bodies.append(body)
+        aid = f"mock-{next(self._ids)}"
+        self._start[aid] = self.env.now
+        return aid
+
+    def status(self, action_id):
+        elapsed = self.env.now - self._start[action_id]
+        if elapsed < self.duration:
+            return ActionStatus(state=ActionState.ACTIVE)
+        if self.fail:
+            return ActionStatus(
+                state=ActionState.FAILED, error="mock exploded", active_seconds=self.duration
+            )
+        return ActionStatus(
+            state=ActionState.SUCCEEDED,
+            result={"mock": True},
+            active_seconds=self.duration,
+        )
+
+
+def make_flows(env, duration=5.0, fail=False, transition=0.0, poll=0.0, backoff=PAPER_BACKOFF):
+    auth = AuthClient()
+    alice = auth.register_identity("alice")
+    token = auth.issue_token(alice, [FLOWS_SCOPE], now=0.0)
+    svc = FlowsService(
+        env,
+        auth,
+        RngRegistry(0),
+        transition_latency_s=transition,
+        transition_sigma=0.0,
+        poll_latency_s=poll,
+        backoff=backoff,
+    )
+    provider = MockProvider(env, duration=duration, fail=fail)
+    svc.register_provider(provider)
+    return svc, token, provider
+
+
+def test_flow_run_succeeds_and_records_steps():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=5.0)
+    flow_id = svc.deploy(linear_def(2))
+    run = svc.run_flow(token, flow_id, {"x": 1})
+    env.run(until=run.completed)
+    assert run.status is RunStatus.SUCCEEDED
+    assert len(run.steps) == 2
+    for step in run.steps:
+        assert step.active_seconds == 5.0
+        assert step.polls >= 1
+        assert step.result == {"mock": True}
+
+
+def test_polling_detection_overhead():
+    """A 5 s action under 1,2,4,... backoff is detected at poll t=7 →
+    2 s of detection overhead per step."""
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=5.0)
+    flow_id = svc.deploy(linear_def(1))
+    run = svc.run_flow(token, flow_id, {})
+    env.run(until=run.completed)
+    step = run.steps[0]
+    assert step.polls == 3  # polls at 1, 3, 7
+    assert step.observed_seconds == pytest.approx(7.0)
+    assert step.overhead_seconds == pytest.approx(2.0)
+    assert run.runtime_seconds == pytest.approx(7.0)
+    assert run.overhead_seconds == pytest.approx(2.0)
+
+
+def test_transition_latency_counts_as_overhead():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=5.0, transition=2.0)
+    flow_id = svc.deploy(linear_def(2))
+    run = svc.run_flow(token, flow_id, {})
+    env.run(until=run.completed)
+    # 3 transitions x 2 s + 2 steps x 2 s detection lag = 10 s overhead
+    assert run.active_seconds == pytest.approx(10.0)
+    assert run.overhead_seconds == pytest.approx(10.0)
+    assert run.overhead_fraction == pytest.approx(0.5)
+
+
+def test_flow_failure_recorded():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=3.0, fail=True)
+    flow_id = svc.deploy(linear_def(2))
+    run = svc.run_flow(token, flow_id, {})
+    env.run(until=run.completed)
+    assert run.status is RunStatus.FAILED
+    assert "mock exploded" in run.error
+    assert len(run.steps) == 1  # stopped at the failing step
+    assert run.steps[0].error == "mock exploded"
+
+
+def test_template_threading_between_states():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=1.0)
+    states = (
+        FlowState("A", "mock", parameters={"path": "$.input.path"}, next="B"),
+        FlowState("B", "mock", parameters={"prev_ok": "$.states.A.mock"}),
+    )
+    d = FlowDefinition(title="t", start_at="A", states=states)
+    run = svc.run_flow(token, svc.deploy(d), {"path": "/x.emd"})
+    env.run(until=run.completed)
+    assert provider.bodies[0] == {"path": "/x.emd"}
+    assert provider.bodies[1] == {"prev_ok": True}
+
+
+def test_parallel_runs_interleave():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=5.0)
+    flow_id = svc.deploy(linear_def(1))
+    r1 = svc.run_flow(token, flow_id, {})
+    r2 = svc.run_flow(token, flow_id, {})
+    env.run()
+    assert r1.status is RunStatus.SUCCEEDED
+    assert r2.status is RunStatus.SUCCEEDED
+    # Both ran concurrently: wall clock is one flow's runtime, not two.
+    assert env.now == pytest.approx(7.0)
+
+
+def test_unknown_provider_rejected_at_deploy():
+    env = Environment()
+    svc, token, provider = make_flows(env)
+    bad = FlowDefinition(title="t", start_at="a", states=(FlowState("a", "ghost"),))
+    with pytest.raises(FlowError, match="unknown action provider"):
+        svc.deploy(bad)
+
+
+def test_unknown_flow_and_run_ids():
+    env = Environment()
+    svc, token, provider = make_flows(env)
+    with pytest.raises(FlowError):
+        svc.run_flow(token, "flow-404", {})
+    with pytest.raises(FlowError):
+        svc.get_run("run-404")
+
+
+def test_duplicate_provider_rejected():
+    env = Environment()
+    svc, token, provider = make_flows(env)
+    with pytest.raises(FlowError, match="already registered"):
+        svc.register_provider(MockProvider(env))
+
+
+def test_run_summary_shape():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=2.0)
+    run = svc.run_flow(token, svc.deploy(linear_def(1)), {})
+    env.run(until=run.completed)
+    s = run.summary()
+    assert s["status"] == "SUCCEEDED"
+    assert "S0" in s["steps"]
+    assert s["overhead_s"] >= 0
+
+
+def test_constant_backoff_reduces_overhead():
+    env1 = Environment()
+    svc1, token1, _ = make_flows(env1, duration=50.0)
+    r1 = svc1.run_flow(token1, svc1.deploy(linear_def(1)), {})
+    env1.run(until=r1.completed)
+
+    env2 = Environment()
+    svc2, token2, _ = make_flows(env2, duration=50.0, backoff=ConstantBackoff(1.0))
+    r2 = svc2.run_flow(token2, svc2.deploy(linear_def(1)), {})
+    env2.run(until=r2.completed)
+
+    assert r2.overhead_seconds < r1.overhead_seconds
+
+
+# -- gladier ---------------------------------------------------------------------
+
+
+def test_gladier_compose_chains_tools():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=1.0)
+    t1 = GladierTool("transfer", (FlowState("Transfer", "mock"),))
+    t2 = GladierTool(
+        "analyze", (FlowState("Analyze", "mock"), FlowState("Publish", "mock"))
+    )
+    client = GladierClient(svc, token)
+    d = client.compose("pipeline", [t1, t2])
+    names = [s.name for s in d.ordered_states()]
+    assert names == ["Transfer", "Analyze", "Publish"]
+    run = client.run_flow(d, {})
+    env.run(until=run.completed)
+    assert run.status is RunStatus.SUCCEEDED
+
+
+def test_gladier_deploy_memoized():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=1.0)
+    client = GladierClient(svc, token)
+    d = client.compose("pipeline", [GladierTool("t", (FlowState("A", "mock"),))])
+    id1 = client.deploy(d)
+    id2 = client.deploy(d)
+    assert id1 == id2
+
+
+def test_gladier_rejects_empty_and_duplicates():
+    env = Environment()
+    svc, token, provider = make_flows(env)
+    client = GladierClient(svc, token)
+    with pytest.raises(FlowDefinitionError):
+        client.compose("x", [])
+    with pytest.raises(FlowDefinitionError):
+        GladierTool("empty", ())
+    dup = GladierTool("d", (FlowState("Same", "mock"),))
+    with pytest.raises(FlowDefinitionError, match="duplicate"):
+        client.compose("x", [dup, dup])

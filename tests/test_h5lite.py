@@ -1,0 +1,322 @@
+"""Unit and property tests for the h5lite container format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.emd import H5LiteFile, H5LiteWriter
+from repro.errors import FormatError
+
+
+def roundtrip(tmp_path, build):
+    path = tmp_path / "t.h5l"
+    with H5LiteWriter(path) as w:
+        build(w)
+    return H5LiteFile(path)
+
+
+def test_empty_file_roundtrip(tmp_path):
+    f = roundtrip(tmp_path, lambda w: None)
+    assert f.root.keys() == []
+    f.close()
+
+
+def test_root_attrs(tmp_path):
+    def build(w):
+        r = w.require_group("/")
+        r.attrs["version_major"] = 0
+        r.attrs["title"] = "hello"
+        r.attrs["ratio"] = 2.5
+        r.attrs["flag"] = True
+        r.attrs["nothing"] = None
+
+    f = roundtrip(tmp_path, build)
+    assert f.attrs["version_major"] == 0
+    assert f.attrs["title"] == "hello"
+    assert f.attrs["ratio"] == 2.5
+    assert f.attrs["flag"] is True
+    assert f.attrs["nothing"] is None
+    f.close()
+
+
+def test_attr_types_preserved(tmp_path):
+    """ints stay ints, floats stay floats, bools stay bools."""
+
+    def build(w):
+        g = w.require_group("g")
+        g.attrs["i"] = 3
+        g.attrs["f"] = 3.0
+        g.attrs["b"] = False
+
+    f = roundtrip(tmp_path, build)
+    g = f["g"]
+    assert type(g.attrs["i"]) is int
+    assert type(g.attrs["f"]) is float
+    assert type(g.attrs["b"]) is bool
+    f.close()
+
+
+def test_array_attrs(tmp_path):
+    def build(w):
+        g = w.require_group("g")
+        g.attrs["ints"] = [1, 2, 3]
+        g.attrs["floats"] = np.array([[1.5, 2.5]])
+        g.attrs["strs"] = ["a", "b"]
+
+    f = roundtrip(tmp_path, build)
+    g = f["g"]
+    np.testing.assert_array_equal(g.attrs["ints"], [1, 2, 3])
+    np.testing.assert_array_equal(g.attrs["floats"], [[1.5, 2.5]])
+    assert list(g.attrs["strs"]) == ["a", "b"]
+    f.close()
+
+
+def test_nested_groups(tmp_path):
+    f = roundtrip(tmp_path, lambda w: w.require_group("a/b/c"))
+    assert f["a"].groups() == ["b"]
+    assert f["a/b"].groups() == ["c"]
+    assert f["a/b/c"].keys() == []
+    f.close()
+
+
+def test_contiguous_dataset_roundtrip(tmp_path):
+    arr = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+    f = roundtrip(tmp_path, lambda w: w.create_dataset("d", arr))
+    ds = f["d"]
+    assert ds.shape == (2, 3, 4)
+    assert ds.dtype == np.float64
+    np.testing.assert_array_equal(ds.read(), arr)
+    f.close()
+
+
+def test_compressed_dataset_roundtrip(tmp_path):
+    arr = np.zeros((100, 100), dtype=np.int32)
+    arr[10:20, 10:20] = 7
+    f = roundtrip(tmp_path, lambda w: w.create_dataset("d", arr, compression="zlib"))
+    np.testing.assert_array_equal(f["d"].read(), arr)
+    f.close()
+
+
+def test_compression_actually_shrinks(tmp_path):
+    arr = np.zeros((512, 512), dtype=np.float64)
+    p1 = tmp_path / "raw.h5l"
+    p2 = tmp_path / "z.h5l"
+    with H5LiteWriter(p1) as w:
+        w.create_dataset("d", arr)
+    with H5LiteWriter(p2) as w:
+        w.create_dataset("d", arr, compression="zlib")
+    assert p2.stat().st_size < p1.stat().st_size / 10
+
+
+def test_chunked_full_read(tmp_path):
+    arr = np.arange(5 * 6 * 7, dtype=np.float32).reshape(5, 6, 7)
+    f = roundtrip(
+        tmp_path, lambda w: w.create_dataset("d", arr, chunks=(2, 3, 4))
+    )
+    np.testing.assert_array_equal(f["d"].read(), arr)
+    f.close()
+
+
+def test_chunked_partial_read_single_frame(tmp_path):
+    movie = np.random.default_rng(0).random((10, 16, 16))
+    f = roundtrip(
+        tmp_path, lambda w: w.create_dataset("m", movie, chunks=(1, 16, 16))
+    )
+    ds = f["m"]
+    np.testing.assert_array_equal(ds[3], movie[3])
+    np.testing.assert_array_equal(ds[9], movie[9])
+    np.testing.assert_array_equal(ds[-1], movie[-1])
+    f.close()
+
+
+def test_chunked_partial_read_slices(tmp_path):
+    arr = np.random.default_rng(1).random((9, 9))
+    f = roundtrip(tmp_path, lambda w: w.create_dataset("d", arr, chunks=(4, 4)))
+    ds = f["d"]
+    np.testing.assert_array_equal(ds[2:7, 3:9], arr[2:7, 3:9])
+    np.testing.assert_array_equal(ds[:, 5], arr[:, 5])
+    np.testing.assert_array_equal(ds[0:0], arr[0:0])
+    f.close()
+
+
+def test_chunked_compressed_partial_read(tmp_path):
+    arr = np.random.default_rng(2).random((6, 8, 8))
+    f = roundtrip(
+        tmp_path,
+        lambda w: w.create_dataset("d", arr, chunks=(2, 8, 8), compression="zlib"),
+    )
+    np.testing.assert_array_equal(f["d"][1:5], arr[1:5])
+    f.close()
+
+
+def test_index_errors(tmp_path):
+    arr = np.zeros((4, 4))
+    f = roundtrip(tmp_path, lambda w: w.create_dataset("d", arr, chunks=(2, 2)))
+    ds = f["d"]
+    with pytest.raises(IndexError):
+        ds[10]
+    with pytest.raises(IndexError):
+        ds[0, 0, 0]
+    with pytest.raises(IndexError):
+        ds[::2]
+    with pytest.raises(IndexError):
+        ds["bad"]
+    f.close()
+
+
+def test_duplicate_path_rejected(tmp_path):
+    path = tmp_path / "t.h5l"
+    with H5LiteWriter(path) as w:
+        w.create_dataset("d", np.zeros(3))
+        with pytest.raises(FormatError, match="already exists"):
+            w.create_dataset("d", np.zeros(3))
+
+
+def test_group_dataset_collision_rejected(tmp_path):
+    path = tmp_path / "t.h5l"
+    with H5LiteWriter(path) as w:
+        w.create_dataset("x", np.zeros(3))
+        with pytest.raises(FormatError):
+            w.require_group("x/y")
+
+
+def test_write_after_close_rejected(tmp_path):
+    path = tmp_path / "t.h5l"
+    w = H5LiteWriter(path)
+    w.close()
+    with pytest.raises(FormatError, match="closed"):
+        w.create_dataset("d", np.zeros(3))
+    w.close()  # idempotent
+
+
+def test_unsupported_dtype_rejected(tmp_path):
+    path = tmp_path / "t.h5l"
+    with H5LiteWriter(path) as w:
+        with pytest.raises(FormatError, match="dtype"):
+            w.create_dataset("d", np.array(["a", "b"]))
+
+
+def test_missing_path_keyerror(tmp_path):
+    f = roundtrip(tmp_path, lambda w: w.require_group("a"))
+    with pytest.raises(KeyError):
+        f["a/missing"]
+    assert "a" in f
+    assert "zzz" not in f
+    f.close()
+
+
+def test_walk_enumerates_everything(tmp_path):
+    def build(w):
+        w.require_group("g1/g2")
+        w.create_dataset("g1/d1", np.zeros(2))
+        w.create_dataset("top", np.zeros(2))
+
+    f = roundtrip(tmp_path, build)
+    paths = [p for p, _ in f.walk()]
+    assert paths == ["/g1", "/g1/g2", "/g1/d1", "/top"]
+    f.close()
+
+
+def test_truncated_file_detected(tmp_path):
+    path = tmp_path / "t.h5l"
+    with H5LiteWriter(path) as w:
+        w.create_dataset("d", np.arange(1000.0))
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(FormatError):
+        H5LiteFile(path)
+
+
+def test_not_h5lite_detected(tmp_path):
+    path = tmp_path / "t.h5l"
+    path.write_bytes(b"PK\x03\x04" + b"\x00" * 100)
+    with pytest.raises(FormatError, match="magic"):
+        H5LiteFile(path)
+
+
+def test_corrupt_footer_detected(tmp_path):
+    path = tmp_path / "t.h5l"
+    with H5LiteWriter(path) as w:
+        w.create_dataset("d", np.arange(10.0))
+    data = bytearray(path.read_bytes())
+    # Flip bytes inside the footer region (just before the 24-byte tail).
+    for i in range(len(data) - 40, len(data) - 30):
+        data[i] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(FormatError):
+        H5LiteFile(path)
+
+
+def test_scalar_dataset(tmp_path):
+    f = roundtrip(tmp_path, lambda w: w.create_dataset("s", np.float64(3.5)))
+    ds = f["s"]
+    assert ds.shape == ()
+    assert ds.read() == 3.5
+    f.close()
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+_dtypes = st.sampled_from([np.uint8, np.int32, np.int64, np.float32, np.float64])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    dtype=_dtypes,
+    compression=st.sampled_from([None, "zlib"]),
+)
+def test_roundtrip_property(tmp_path_factory, data, dtype, compression):
+    """Any array round-trips bit-exactly through the container."""
+    shape = data.draw(
+        st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=3)
+    )
+    arr = data.draw(
+        hnp.arrays(
+            dtype=dtype,
+            shape=tuple(shape),
+            elements=hnp.from_dtype(np.dtype(dtype), allow_nan=False, allow_infinity=False),
+        )
+    )
+    tmp = tmp_path_factory.mktemp("h5l") / "p.h5l"
+    with H5LiteWriter(tmp) as w:
+        w.create_dataset("d", arr, compression=compression)
+    with H5LiteFile(tmp) as f:
+        got = f["d"].read()
+    np.testing.assert_array_equal(got, arr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_chunked_slice_matches_numpy(tmp_path_factory, data):
+    """Property: any basic slice of a chunked dataset equals the same
+    slice of the in-memory array."""
+    shape = tuple(
+        data.draw(st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=3))
+    )
+    chunks = tuple(data.draw(st.integers(min_value=1, max_value=s)) for s in shape)
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    arr = rng.integers(0, 1000, size=shape).astype(np.int64)
+
+    sel = []
+    for s in shape:
+        if data.draw(st.booleans()):
+            sel.append(data.draw(st.integers(min_value=0, max_value=s - 1)))
+        else:
+            a = data.draw(st.integers(min_value=0, max_value=s))
+            b = data.draw(st.integers(min_value=a, max_value=s))
+            sel.append(slice(a, b))
+    sel = tuple(sel)
+
+    tmp = tmp_path_factory.mktemp("h5l") / "p.h5l"
+    with H5LiteWriter(tmp) as w:
+        w.create_dataset("d", arr, chunks=chunks)
+    with H5LiteFile(tmp) as f:
+        got = f["d"][sel]
+    np.testing.assert_array_equal(got, arr[sel])

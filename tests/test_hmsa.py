@@ -1,0 +1,84 @@
+"""Tests for HMSA format support."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emd.hmsa import read_hmsa, write_hmsa
+from repro.errors import FormatError
+from repro.instrument import MovieSpec, PicoProbe
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def hyper_signal():
+    probe = PicoProbe(RngRegistry(0), operator="alice")
+    sig, _ = probe.acquire_hyperspectral(shape=(32, 32), n_channels=64)
+    return sig
+
+
+def test_hmsa_writes_pair(tmp_path, hyper_signal):
+    xml_path, dat_path = write_hmsa(tmp_path / "acq", hyper_signal)
+    assert xml_path.endswith(".xml") and dat_path.endswith(".dat")
+    assert (tmp_path / "acq.xml").exists()
+    assert (tmp_path / "acq.dat").exists()
+
+
+def test_hmsa_roundtrip_data(tmp_path, hyper_signal):
+    write_hmsa(tmp_path / "acq", hyper_signal)
+    back = read_hmsa(tmp_path / "acq")
+    np.testing.assert_array_equal(back.data, hyper_signal.data)
+    assert back.metadata.acquisition_id == hyper_signal.metadata.acquisition_id
+    assert back.metadata.operator == "alice"
+    assert back.metadata.signal_type == "hyperspectral"
+    assert back.metadata.microscope.beam_energy_kev == 300.0
+    assert set(back.metadata.sample.elements) == set(
+        hyper_signal.metadata.sample.elements
+    )
+
+
+def test_hmsa_roundtrip_movie(tmp_path):
+    probe = PicoProbe(RngRegistry(0))
+    sig, _ = probe.acquire_spatiotemporal(
+        MovieSpec(n_frames=3, shape=(48, 48), n_particles=2, radius_range=(4, 7))
+    )
+    write_hmsa(tmp_path / "mov", sig)
+    back = read_hmsa(tmp_path / "mov")
+    np.testing.assert_array_equal(back.data, sig.data)
+    assert [d.name for d in back.dims] == ["time", "height", "width"]
+
+
+def test_hmsa_uid_links_files(tmp_path, hyper_signal):
+    write_hmsa(tmp_path / "a", hyper_signal)
+    write_hmsa(tmp_path / "b", hyper_signal)
+    # Swap the binary halves: UID validation must catch it.
+    (tmp_path / "a.dat").write_bytes((tmp_path / "b.dat").read_bytes())
+    with pytest.raises(FormatError, match="UID mismatch"):
+        read_hmsa(tmp_path / "a")
+
+
+def test_hmsa_truncated_payload(tmp_path, hyper_signal):
+    write_hmsa(tmp_path / "a", hyper_signal)
+    data = (tmp_path / "a.dat").read_bytes()
+    (tmp_path / "a.dat").write_bytes(data[: len(data) // 2])
+    with pytest.raises(FormatError, match="payload"):
+        read_hmsa(tmp_path / "a")
+
+
+def test_hmsa_bad_xml(tmp_path, hyper_signal):
+    write_hmsa(tmp_path / "a", hyper_signal)
+    (tmp_path / "a.xml").write_text("<notHmsa/>")
+    with pytest.raises(FormatError, match="not an HMSA"):
+        read_hmsa(tmp_path / "a")
+    (tmp_path / "a.xml").write_text("{json?}")
+    with pytest.raises(FormatError, match="cannot parse"):
+        read_hmsa(tmp_path / "a")
+
+
+def test_hmsa_rejects_unsupported_dtype(tmp_path, hyper_signal):
+    from dataclasses import replace
+
+    bad = replace(hyper_signal, data=hyper_signal.data.astype(np.complex128))
+    with pytest.raises(FormatError, match="dtype"):
+        write_hmsa(tmp_path / "x", bad)

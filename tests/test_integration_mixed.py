@@ -1,0 +1,139 @@
+"""Integration: both use cases sharing ONE testbed concurrently.
+
+The paper runs its campaigns independently; this test goes further and
+drives hyperspectral and spatiotemporal flows through the *same*
+network, scheduler, flows service, and search index at the same time —
+the realistic multi-user regime — and checks that nothing interferes:
+flows of both kinds complete, share warm nodes, contend for the same
+switch, and land in one portal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FlowTriggerApp,
+    analyze_virtual_hyperspectral,
+    analyze_virtual_spatiotemporal,
+    hyperspectral_cost_model,
+    picoprobe_flow,
+    spatiotemporal_cost_model,
+)
+from repro.flows import RunStatus
+from repro.instrument import (
+    HYPERSPECTRAL_USE_CASE,
+    SPATIOTEMPORAL_USE_CASE,
+    FileCopier,
+)
+from repro.portal import Portal
+from repro.search import FieldFilter
+from repro.testbed import DEFAULT_CALIBRATION, build_testbed
+from repro.watcher import SimObserver
+
+
+@pytest.fixture(scope="module")
+def mixed_world():
+    tb = build_testbed(seed=5)
+    cal = DEFAULT_CALIBRATION
+
+    apps = {}
+    copiers = {}
+    for uc, fn, cost in (
+        (
+            HYPERSPECTRAL_USE_CASE,
+            analyze_virtual_hyperspectral,
+            hyperspectral_cost_model(cal, tb.rngs),
+        ),
+        (
+            SPATIOTEMPORAL_USE_CASE,
+            analyze_virtual_spatiotemporal,
+            spatiotemporal_cost_model(cal, tb.rngs),
+        ),
+    ):
+        fid = tb.compute.register_function(fn, cost, name=f"{uc.name}-analysis")
+        definition = picoprobe_flow(tb.gladier, f"picoprobe-{uc.name}")
+        app = FlowTriggerApp(tb, definition, fid, dest_dir=f"/picoprobe/{uc.name}")
+        observer = SimObserver(tb.user_fs, prefix=f"/transfer/{uc.name}")
+        app.attach(observer)
+        copier = FileCopier(
+            tb.env,
+            tb.user_fs,
+            uc,
+            instrument=tb.instrument,
+            mode="gated",
+            directory=f"/transfer/{uc.name}",
+        )
+        app.on_complete.append(
+            lambda run, c=copier: c.notify_flow_complete()
+        )
+        tb.env.process(copier.run(until=1800.0))
+        apps[uc.name] = app
+        copiers[uc.name] = copier
+
+    tb.env.run(until=1800.0)
+    return tb, apps, copiers
+
+
+def test_both_use_cases_complete(mixed_world):
+    tb, apps, _ = mixed_world
+    h = apps["hyperspectral"].completed_runs
+    s = apps["spatiotemporal"].completed_runs
+    assert len(h) >= 10
+    assert len(s) >= 3
+    assert all(r.status is RunStatus.SUCCEEDED for r in h + s)
+
+
+def test_shared_switch_contention_visible(mixed_world):
+    """Concurrent movie transfers slow hyperspectral transfers relative
+    to the isolated campaign."""
+    tb, apps, _ = mixed_world
+    from repro.core import run_campaign
+
+    isolated = run_campaign("hyperspectral", duration_s=1800, seed=5)
+
+    def med_transfer(runs):
+        return float(
+            np.median([r.step("TransferData").active_seconds for r in runs])
+        )
+
+    mixed_t = med_transfer(apps["hyperspectral"].completed_runs)
+    iso_t = med_transfer(isolated.completed_runs)
+    assert mixed_t > iso_t  # sharing the switch costs something
+
+
+def test_both_kinds_share_warm_nodes(mixed_world):
+    tb, apps, _ = mixed_world
+    all_runs = (
+        apps["hyperspectral"].completed_runs
+        + apps["spatiotemporal"].completed_runs
+    )
+    cold = [r for r in all_runs if r.step("AnalyzeData").result.get("cold_start")]
+    # One shared endpoint: far fewer cold starts than flows.
+    assert 1 <= len(cold) <= 4
+    nodes = {r.step("AnalyzeData").result["node_id"] for r in all_runs}
+    assert len(nodes) <= tb.scheduler.pool.capacity
+
+
+def test_single_portal_holds_both_signal_types(mixed_world):
+    tb, apps, _ = mixed_world
+    idx = tb.portal_index
+    res = idx.query(facet_fields=["experiment.signal_type"], limit=1000)
+    facets = res.facets["experiment.signal_type"]
+    assert facets.get("hyperspectral", 0) >= 10
+    assert facets.get("spatiotemporal", 0) >= 3
+    # Filtered queries separate them cleanly.
+    only_s = idx.query(
+        filters=[FieldFilter("experiment.signal_type", "eq", "spatiotemporal")],
+        limit=1000,
+    )
+    assert only_s.total_matched == facets["spatiotemporal"]
+
+
+def test_portal_builds_from_mixed_index(mixed_world, tmp_path):
+    tb, apps, _ = mixed_world
+    portal = Portal(tb.portal_index)
+    written = portal.build(tmp_path)
+    n_records = len(tb.portal_index.query(limit=10_000).hits)
+    assert len(written) == n_records + 1  # index + one page per record

@@ -1,0 +1,152 @@
+"""Tests for IoU / AP / mAP metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Box, average_precision, iou, iou_matrix, map_range, match_greedy
+
+
+def B(x0, y0, x1, y1, c=1.0):
+    return Box(x0, y0, x1, y1, confidence=c)
+
+
+def test_iou_identical_is_one():
+    b = B(0, 0, 10, 10)
+    assert iou(b, b) == 1.0
+
+
+def test_iou_disjoint_is_zero():
+    assert iou(B(0, 0, 1, 1), B(5, 5, 6, 6)) == 0.0
+
+
+def test_iou_half_overlap():
+    a = B(0, 0, 10, 10)
+    b = B(5, 0, 15, 10)
+    # intersection 50, union 150
+    assert iou(a, b) == pytest.approx(1 / 3)
+
+
+def test_degenerate_box_rejected():
+    with pytest.raises(ValueError):
+        Box(5, 0, 0, 5)
+
+
+def test_iou_matrix_matches_scalar():
+    dets = [B(0, 0, 4, 4), B(2, 2, 6, 6)]
+    truths = [B(0, 0, 4, 4), B(10, 10, 12, 12)]
+    m = iou_matrix(dets, truths)
+    assert m.shape == (2, 2)
+    for i, d in enumerate(dets):
+        for j, t in enumerate(truths):
+            assert m[i, j] == pytest.approx(iou(d, t))
+
+
+def test_iou_matrix_empty():
+    assert iou_matrix([], [B(0, 0, 1, 1)]).shape == (0, 1)
+    assert iou_matrix([B(0, 0, 1, 1)], []).shape == (1, 0)
+
+
+def test_match_greedy_prefers_confident_detections():
+    truth = [B(0, 0, 10, 10)]
+    dets = [B(1, 1, 11, 11, c=0.3), B(0, 0, 10, 10, c=0.9)]
+    assignment = match_greedy(dets, truth, threshold=0.5)
+    assert assignment == [-1, 0]  # high-confidence det claims the truth
+
+
+def test_match_greedy_threshold():
+    truth = [B(0, 0, 10, 10)]
+    dets = [B(8, 8, 18, 18, c=1.0)]  # IoU ~ 0.026
+    assert match_greedy(dets, truth, threshold=0.5) == [-1]
+
+
+def test_perfect_detections_ap_one():
+    frames = [([B(0, 0, 10, 10, c=0.9)], [B(0, 0, 10, 10)])]
+    assert average_precision(frames, 0.5) == pytest.approx(1.0)
+    assert map_range(frames) == pytest.approx(1.0)
+
+
+def test_no_detections_ap_zero():
+    frames = [([], [B(0, 0, 10, 10)])]
+    assert average_precision(frames, 0.5) == 0.0
+
+
+def test_no_truth_ap_zero():
+    frames = [([B(0, 0, 10, 10, c=0.9)], [])]
+    assert average_precision(frames, 0.5) == 0.0
+
+
+def test_false_positives_lower_ap():
+    clean = [([B(0, 0, 10, 10, c=0.9)], [B(0, 0, 10, 10)])]
+    noisy = [
+        (
+            [B(0, 0, 10, 10, c=0.5), B(50, 50, 60, 60, c=0.9)],
+            [B(0, 0, 10, 10)],
+        )
+    ]
+    assert average_precision(noisy, 0.5) < average_precision(clean, 0.5)
+
+
+def test_low_ranked_false_positives_hurt_less():
+    fp_low = [
+        ([B(0, 0, 10, 10, c=0.9), B(50, 50, 60, 60, c=0.1)], [B(0, 0, 10, 10)])
+    ]
+    fp_high = [
+        ([B(0, 0, 10, 10, c=0.1), B(50, 50, 60, 60, c=0.9)], [B(0, 0, 10, 10)])
+    ]
+    assert average_precision(fp_low, 0.5) > average_precision(fp_high, 0.5)
+
+
+def test_map_degrades_with_loose_boxes():
+    """Boxes 20% oversized pass IoU 0.5 but fail 0.95 → mAP between 0 and 1."""
+    frames = [([B(-1, -1, 11, 11, c=0.9)], [B(0, 0, 10, 10)])]
+    m = map_range(frames)
+    assert 0.3 < m < 1.0
+    assert average_precision(frames, 0.5) == pytest.approx(1.0)
+    assert average_precision(frames, 0.95) == 0.0
+
+
+def test_map_range_empty_thresholds():
+    with pytest.raises(ValueError):
+        map_range([], thresholds=())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 50), st.floats(0, 50), st.floats(1, 20), st.floats(1, 20)
+        ),
+        min_size=0,
+        max_size=8,
+    )
+)
+def test_iou_bounds_property(raw):
+    boxes = [B(x, y, x + w, y + h) for x, y, w, h in raw]
+    m = iou_matrix(boxes, boxes)
+    assert (m >= 0).all() and (m <= 1 + 1e-9).all()
+    if boxes:
+        np.testing.assert_allclose(np.diag(m), 1.0)
+        np.testing.assert_allclose(m, m.T)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 10), st.integers(0, 42))
+def test_ap_perfect_detector_property(n, seed):
+    """Property: detections identical to truth give AP 1.0 at any
+    threshold."""
+    rng = np.random.default_rng(seed)
+    truths = [
+        B(x, y, x + w, y + h)
+        for x, y, w, h in zip(
+            rng.uniform(0, 100, n),
+            rng.uniform(0, 100, n),
+            rng.uniform(2, 20, n),
+            rng.uniform(2, 20, n),
+        )
+    ]
+    dets = [B(t.x0, t.y0, t.x1, t.y1, c=0.9) for t in truths]
+    assert map_range([(dets, truths)]) == pytest.approx(1.0)

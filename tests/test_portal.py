@@ -1,0 +1,147 @@
+"""Tests for the DGPF-style portal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import AuthClient
+from repro.errors import SearchError
+from repro.portal import Portal
+from repro.portal.templates import escape, link_list, table
+from repro.search import SearchIndex, make_record
+
+
+def seeded_index():
+    idx = SearchIndex("portal")
+    idx.ingest(
+        "hyper-1",
+        make_record(
+            "doi:h1",
+            "Hyperspectral scan of polyamide film",
+            ["alice"],
+            2023,
+            dates={"created": "2023-06-01T00:10:00"},
+            experiment={
+                "acquisition_id": "hyper-0001",
+                "operator": "alice",
+                "signal_type": "hyperspectral",
+                "shape": [256, 256, 347],
+                "microscope": {
+                    "instrument": "Dynamic PicoProbe",
+                    "beam_energy_kev": 300.0,
+                    "magnification": 1.2e6,
+                    "stage": {"x_um": 1.5, "y_um": -2.0, "alpha_deg": 3.0},
+                    "detectors": [{"name": "XPAD"}],
+                },
+                "sample": {"name": "polyamide film", "elements": ["C", "N", "O", "Au"]},
+                "software_version": "picoprobe-dataflow/1.0.0",
+            },
+            plots={
+                "intensity": "<svg xmlns='http://www.w3.org/2000/svg'></svg>",
+                "spectrum": "<svg xmlns='http://www.w3.org/2000/svg'></svg>",
+                "not_a_plot": "plain text is skipped",
+            },
+            subjects=["hyperspectral", "membrane"],
+        ),
+        now=10.0,
+    )
+    idx.ingest(
+        "spatio-1",
+        make_record(
+            "doi:s1",
+            "Gold nanoparticle movie",
+            ["alice"],
+            2023,
+            dates={"created": "2023-06-01T02:00:00"},
+            experiment={"signal_type": "spatiotemporal", "acquisition_id": "spati-0001"},
+            subjects=["spatiotemporal"],
+        ),
+        now=20.0,
+    )
+    return idx
+
+
+def test_render_index_lists_records_and_facets():
+    portal = Portal(seeded_index())
+    html = portal.render_index()
+    assert "Experiments (2)" in html
+    assert "Hyperspectral scan of polyamide film" in html
+    assert "Gold nanoparticle movie" in html
+    assert "hyperspectral (1)" in html and "spatiotemporal (1)" in html
+    assert html.startswith("<!DOCTYPE html>")
+
+
+def test_render_index_date_window():
+    portal = Portal(seeded_index())
+    html = portal.render_index(
+        date_range=("2023-06-01T00:00:00", "2023-06-01T01:00:00")
+    )
+    assert "Experiments (1)" in html
+    assert "polyamide" in html
+    assert "nanoparticle movie" not in html
+
+
+def test_render_record_embeds_plots_and_metadata():
+    portal = Portal(seeded_index())
+    html = portal.render_record("hyper-1")
+    assert html.count("<svg") == 2  # both real plots embedded
+    assert "not_a_plot" not in html or "plain text is skipped" not in html
+    assert "Beam energy (keV)" in html
+    assert "300" in html
+    assert "XPAD" in html
+    assert "C, N, O, Au" in html
+    assert "picoprobe-dataflow/1.0.0" in html
+
+
+def test_render_record_missing_subject():
+    portal = Portal(seeded_index())
+    with pytest.raises(SearchError):
+        portal.render_record("ghost")
+
+
+def test_visibility_respected_in_build(tmp_path):
+    auth = AuthClient()
+    alice = auth.register_identity("alice")
+    idx = seeded_index()
+    idx.ingest(
+        "secret-1",
+        make_record("doi:x", "Private scan", ["alice"], 2023),
+        visible_to=(alice.urn,),
+    )
+    portal = Portal(idx)
+    # Anonymous build: only the two public records.
+    written = portal.build(tmp_path / "anon")
+    names = [p for p in written if p.endswith(".html")]
+    assert len(names) == 3  # index + 2 records
+    # Authenticated build sees the private record too.
+    written_auth = portal.build(tmp_path / "alice", identity=alice)
+    assert len(written_auth) == 4
+
+
+def test_build_writes_valid_files(tmp_path):
+    portal = Portal(seeded_index())
+    written = portal.build(tmp_path)
+    for p in written:
+        text = open(p, encoding="utf-8").read()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "</html>" in text
+
+
+def test_escape_blocks_html_injection():
+    idx = SearchIndex("portal")
+    idx.ingest(
+        "evil",
+        make_record("doi:e", "<script>alert('xss')</script>", ["eve"], 2023),
+    )
+    portal = Portal(idx)
+    html = portal.render_record("evil")
+    assert "<script>" not in html
+    assert "&lt;script&gt;" in html
+
+
+def test_template_helpers():
+    assert escape("<a&b>") == "&lt;a&amp;b&gt;"
+    t = table([("k<", "v>")])
+    assert "k&lt;" in t and "v&gt;" in t
+    ll = link_list([("a.html", "A & B")])
+    assert "A &amp; B" in ll

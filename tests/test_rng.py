@@ -1,0 +1,77 @@
+"""Tests for deterministic RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import RngRegistry, lognormal_from_median
+
+
+def test_same_name_is_memoized():
+    r = RngRegistry(seed=1)
+    assert r.stream("a") is r.stream("a")
+
+
+def test_same_seed_same_draws():
+    a = RngRegistry(seed=7).stream("x").random(10)
+    b = RngRegistry(seed=7).stream("x").random(10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_names_are_independent():
+    r = RngRegistry(seed=7)
+    a = r.stream("x").random(10)
+    b = r.stream("y").random(10)
+    assert not np.allclose(a, b)
+
+
+def test_creation_order_does_not_matter():
+    r1 = RngRegistry(seed=3)
+    _ = r1.stream("first").random(100)  # consume another stream first
+    x1 = r1.stream("second").random(5)
+
+    r2 = RngRegistry(seed=3)
+    x2 = r2.stream("second").random(5)
+    np.testing.assert_array_equal(x1, x2)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random(10)
+    b = RngRegistry(seed=2).stream("x").random(10)
+    assert not np.allclose(a, b)
+
+
+def test_fork_is_reproducible_and_distinct():
+    base = RngRegistry(seed=5)
+    f1 = base.fork(1).stream("x").random(5)
+    f1_again = RngRegistry(seed=5).fork(1).stream("x").random(5)
+    f2 = base.fork(2).stream("x").random(5)
+    np.testing.assert_array_equal(f1, f1_again)
+    assert not np.allclose(f1, f2)
+
+
+def test_lognormal_median_zero_sigma_exact():
+    rng = np.random.default_rng(0)
+    assert lognormal_from_median(rng, 12.5, 0.0) == 12.5
+    assert lognormal_from_median(rng, 0.0, 0.5) == 0.0
+
+
+def test_lognormal_rejects_negative():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        lognormal_from_median(rng, -1, 0.1)
+    with pytest.raises(ValueError):
+        lognormal_from_median(rng, 1, -0.1)
+
+
+@given(st.floats(min_value=0.01, max_value=1e3), st.floats(min_value=0.01, max_value=1.0))
+def test_lognormal_median_property(median, sigma):
+    """Property: the sample median converges to the requested median."""
+    rng = np.random.default_rng(1234)
+    xs = np.array([lognormal_from_median(rng, median, sigma) for _ in range(400)])
+    assert np.all(xs > 0)
+    # Median of a lognormal equals exp(mu); allow generous sampling noise.
+    assert np.median(xs) == pytest.approx(median, rel=0.35)

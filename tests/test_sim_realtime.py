@@ -1,0 +1,74 @@
+"""Tests for the wall-clock-paced environment."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import RealtimeEnvironment
+
+
+def test_speedup_validation():
+    with pytest.raises(SimulationError):
+        RealtimeEnvironment(speedup=0)
+
+
+def test_realtime_paces_to_wall_clock():
+    # 0.5 simulated seconds at 10x speedup ≈ 0.05 wall seconds.
+    env = RealtimeEnvironment(speedup=10.0)
+    ticks = []
+
+    def proc(env):
+        for _ in range(5):
+            yield env.timeout(0.1)
+            ticks.append(env.now)
+
+    env.process(proc(env))
+    t0 = time.monotonic()
+    env.run()
+    elapsed = time.monotonic() - t0
+    assert ticks == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+    # Paced: at least ~0.04 s of wall time, not instantaneous.
+    assert 0.03 < elapsed < 2.0
+
+
+def test_realtime_fast_speedup_is_snappy():
+    env = RealtimeEnvironment(speedup=1000.0)
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    env.process(proc(env))
+    t0 = time.monotonic()
+    env.run()
+    assert time.monotonic() - t0 < 1.0
+    assert env.now == 5.0
+
+
+def test_realtime_empty_queue_raises_like_base():
+    env = RealtimeEnvironment(speedup=100)
+    with pytest.raises(SimulationError, match="no more events"):
+        env.step()
+
+
+def test_realtime_results_match_pure_simulation():
+    """Pacing must not change event ordering or values."""
+    from repro.sim import Environment
+
+    def program(env, log):
+        def worker(env, name, d):
+            yield env.timeout(d)
+            log.append((round(env.now, 6), name))
+
+        env.process(worker(env, "a", 0.02))
+        env.process(worker(env, "b", 0.01))
+        env.process(worker(env, "c", 0.03))
+        env.run()
+
+    pure_log: list = []
+    program(Environment(), pure_log)
+    rt_log: list = []
+    program(RealtimeEnvironment(speedup=50), rt_log)
+    assert pure_log == rt_log

@@ -1,0 +1,117 @@
+"""Tests for campaign statistics (Table 1 / Fig. 4 aggregation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import Table1Row, fig4_samples, render_table1, table1_row
+from repro.flows import FlowRun, RunStatus, StepRecord
+from repro.sim import Environment
+
+
+def make_run(runtime, actives, status=RunStatus.SUCCEEDED, start=0.0):
+    """Hand-built FlowRun with the canonical three steps."""
+    run = FlowRun(
+        run_id="run-x",
+        flow_title="t",
+        input={},
+        status=status,
+        started_at=start,
+        finished_at=start + runtime,
+    )
+    t = start
+    for name, active in zip(("TransferData", "AnalyzeData", "PublishResults"), actives):
+        step = StepRecord(
+            name=name,
+            provider="p",
+            entered_at=t,
+            submitted_at=t + 0.1,
+            detected_at=t + active + 1.0,
+            active_seconds=active,
+        )
+        run.steps.append(step)
+        t += active + 1.0
+    return run
+
+
+def test_flow_run_aggregates():
+    run = make_run(30.0, (15.0, 5.0, 1.0))
+    assert run.runtime_seconds == 30.0
+    assert run.active_seconds == 21.0
+    assert run.overhead_seconds == 9.0
+    assert run.overhead_fraction == pytest.approx(0.3)
+
+
+def test_step_record_overhead_never_negative():
+    step = StepRecord(
+        name="s", provider="p", entered_at=0, submitted_at=0, detected_at=5,
+        active_seconds=99.0,  # provider over-reports
+    )
+    assert step.overhead_seconds == 0.0
+
+
+def test_table1_row_aggregation():
+    runs = [
+        make_run(30.0, (15, 5, 1)),
+        make_run(40.0, (20, 6, 1)),
+        make_run(50.0, (25, 7, 1)),
+    ]
+    row = table1_row("hyperspectral", 30.0, 91e6, runs)
+    assert row.total_runs == 3
+    assert row.min_runtime_s == 30 and row.max_runtime_s == 50
+    assert row.mean_runtime_s == pytest.approx(40.0)
+    assert row.total_data_gb == pytest.approx(0.273)
+    assert row.median_overhead_s == pytest.approx(40 - 27)
+
+
+def test_table1_excludes_failed_runs():
+    runs = [
+        make_run(30.0, (15, 5, 1)),
+        make_run(500.0, (1, 1, 1), status=RunStatus.FAILED),
+    ]
+    row = table1_row("x", 30, 91e6, runs)
+    assert row.total_runs == 1
+    assert row.max_runtime_s == 30.0
+
+
+def test_render_table1_multiple_columns():
+    a = table1_row("hyperspectral", 30, 91e6, [make_run(30, (15, 5, 1))])
+    b = table1_row("spatiotemporal", 120, 1200e6, [make_run(200, (150, 40, 1))])
+    text = render_table1([a, b])
+    assert "Hyperspectral" in text and "Spatiotemporal" in text
+    lines = text.splitlines()
+    # header + separator + 9 metrics
+    assert len(lines) == 11
+    # columns aligned: all lines equal width
+    assert len({len(l) for l in lines}) == 1
+
+
+def test_fig4_samples_skips_missing_steps_and_failed_runs():
+    ok = make_run(30.0, (15, 5, 1))
+    failed = make_run(10.0, (5, 1, 1), status=RunStatus.FAILED)
+    partial = FlowRun(
+        run_id="p", flow_title="t", input={}, status=RunStatus.SUCCEEDED,
+        started_at=0, finished_at=12,
+    )
+    partial.steps.append(
+        StepRecord(name="TransferData", provider="p", entered_at=0,
+                   submitted_at=0, detected_at=10, active_seconds=9)
+    )
+    samples = fig4_samples([ok, failed, partial])
+    assert len(samples["Transfer"]) == 2  # ok + partial
+    assert len(samples["Analysis"]) == 1  # ok only
+    assert len(samples["Active"]) == 2
+    assert len(samples["Overhead"]) == 2
+
+
+def test_table1_as_dict_rounding():
+    row = Table1Row(
+        use_case="x", start_period_s=30, transfer_volume_mb=91,
+        total_data_gb=6.42555, min_runtime_s=29.4, mean_runtime_s=47.2,
+        max_runtime_s=181.0, median_overhead_s=19.53, median_overhead_pct=49.23,
+        total_runs=72,
+    )
+    d = row.as_dict()
+    assert d["Total data transfer (GB)"] == 6.43
+    assert d["Median overhead (%)"] == 49.2
+    assert d["Min flow runtime (s)"] == 29

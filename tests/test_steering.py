@@ -1,0 +1,100 @@
+"""Tests for the Fig. 1 feedback loop: drift alerts and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import run_campaign
+from repro.core.steering import (
+    DriftVerdict,
+    OperatorAlert,
+    actionable_summary,
+    detect_drift,
+    scan_for_alerts,
+)
+from repro.flows import RunStatus
+
+
+def test_stable_counts_ok():
+    rng = np.random.default_rng(0)
+    counts = 20 + rng.integers(-1, 2, size=200)
+    v = detect_drift(counts)
+    assert v.ok
+    assert "stable" in v.detail
+
+
+def test_count_collapse_detected():
+    counts = [20] * 100 + [3] * 20
+    v = detect_drift(counts)
+    assert v.status == "count-collapse"
+    assert v.first_bad_frame == 100
+    assert "focus/beam" in v.detail
+
+
+def test_monotonic_decline_detected():
+    counts = np.linspace(30, 16, 200).round().astype(int)
+    v = detect_drift(counts)
+    assert v.status == "monotonic-decline"
+    assert "drift" in v.detail
+
+
+def test_instability_detected():
+    rng = np.random.default_rng(0)
+    counts = np.clip(rng.normal(14, 8, size=200).round(), 1, None).astype(int)
+    v = detect_drift(counts)
+    assert v.status in ("unstable", "count-collapse")
+
+
+def test_zero_baseline():
+    v = detect_drift([0] * 50)
+    assert v.status == "count-collapse"
+
+
+def test_short_series_is_inconclusive():
+    assert detect_drift([5, 5, 5]).ok
+
+
+def test_scan_for_alerts_collects_failures_and_drift():
+    res = run_campaign("hyperspectral", duration_s=600, seed=1)
+    alerts = scan_for_alerts(
+        res.runs,
+        count_series_by_subject={
+            "good-movie": [12] * 100,
+            "bad-movie": [12] * 50 + [2] * 50,
+        },
+    )
+    # No failed flows in a clean campaign; one drift warning.
+    assert len(alerts) == 1
+    assert alerts[0].severity == "warning"
+    assert alerts[0].source == "bad-movie"
+
+
+def test_actionable_summary_transfer_bound():
+    res = run_campaign("spatiotemporal", duration_s=1200, seed=2)
+    summary = actionable_summary(res.runs, bytes_per_run=1200e6)
+    assert summary["completed"] == len(res.completed_runs)
+    assert summary["failed"] == 0
+    assert summary["bottleneck"] == "data transfer"
+    assert "experiments analyzed" in summary["headline"]
+    assert summary["recommendation"]
+
+
+def test_actionable_summary_overhead_recommendation():
+    res = run_campaign("hyperspectral", duration_s=1200, seed=1)
+    summary = actionable_summary(res.runs, bytes_per_run=91e6)
+    # Hyperspectral flows run ~50% overhead → the backoff recommendation.
+    assert "polling backoff" in summary["recommendation"]
+    assert summary["median_overhead_pct"] > 40
+
+
+def test_actionable_summary_no_runs():
+    summary = actionable_summary([], bytes_per_run=1)
+    assert summary["headline"] == "no flows completed"
+
+
+def test_alert_rollup_in_summary():
+    res = run_campaign("hyperspectral", duration_s=600, seed=1)
+    alerts = [OperatorAlert("warning", "m1", "counts declining")]
+    summary = actionable_summary(res.runs, bytes_per_run=91e6, alerts=alerts)
+    assert summary["alerts"] == ["[warning] m1: counts declining"]

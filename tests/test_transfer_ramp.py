@@ -1,0 +1,56 @@
+"""Tests for the size-dependent endpoint throughput ramp."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import VirtualFS
+from repro.transfer import TransferEndpoint
+from repro.units import MB
+
+
+def make_ep(eff=0.1, ramp=MB(50)):
+    return TransferEndpoint(
+        name="e", host="h", vfs=VirtualFS("v"), efficiency=eff, ramp_bytes=ramp
+    )
+
+
+def test_ramp_penalizes_small_files():
+    ep = make_ep()
+    small = ep.effective_efficiency(MB(10))
+    large = ep.effective_efficiency(MB(1000))
+    assert small < large < ep.efficiency
+
+
+def test_no_ramp_means_flat_efficiency():
+    ep = make_ep(ramp=0)
+    assert ep.effective_efficiency(1) == 0.1
+    assert ep.effective_efficiency(1e12) == 0.1
+
+
+def test_ramp_half_point():
+    ep = make_ep(eff=0.2, ramp=MB(100))
+    # At n == ramp, exactly half the asymptotic efficiency.
+    assert ep.effective_efficiency(MB(100)) == pytest.approx(0.1)
+
+
+def test_negative_ramp_rejected():
+    with pytest.raises(ValueError):
+        make_ep(ramp=-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=1, max_value=1e12),
+    st.floats(min_value=1, max_value=1e12),
+)
+def test_ramp_monotone_property(a, b):
+    """Effective efficiency is monotone non-decreasing in file size and
+    bounded by the asymptotic efficiency."""
+    ep = make_ep()
+    ea, eb = ep.effective_efficiency(a), ep.effective_efficiency(b)
+    if a <= b:
+        assert ea <= eb + 1e-15
+    assert 0 < ea <= ep.efficiency

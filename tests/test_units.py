@@ -1,0 +1,67 @@
+"""Tests for unit constructors and formatters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_decimal_sizes():
+    assert units.KB(1) == 1e3
+    assert units.MB(91) == 91e6
+    assert units.GB(6.42) == pytest.approx(6.42e9)
+    assert units.TB(0.1) == pytest.approx(1e11)
+
+
+def test_binary_sizes():
+    assert units.KiB(1) == 1024
+    assert units.MiB(1) == 1024**2
+    assert units.GiB(2) == 2 * 1024**3
+
+
+def test_rates_convert_bits_to_bytes():
+    assert units.bps(8) == 1.0
+    assert units.Kbps(8) == 1e3
+    assert units.Mbps(8) == 1e6
+    assert units.Gbps(1) == 125e6
+
+
+def test_durations():
+    assert units.seconds(5) == 5.0
+    assert units.minutes(2) == 120.0
+    assert units.hours(1) == 3600.0
+
+
+def test_format_bytes():
+    assert units.format_bytes(units.GB(6.42)) == "6.42 GB"
+    assert units.format_bytes(units.MB(91)) == "91.00 MB"
+    assert units.format_bytes(512) == "512 B"
+    assert units.format_bytes(-units.MB(1)) == "-1.00 MB"
+
+
+def test_format_rate():
+    assert units.format_rate(units.Gbps(1)) == "1.00 Gbps"
+    assert units.format_rate(units.Mbps(200)) == "200.00 Mbps"
+    assert units.format_rate(1) == "8 bps"
+
+
+def test_format_duration():
+    assert units.format_duration(12.34) == "12.3s"
+    assert units.format_duration(75) == "1m15s"
+    assert units.format_duration(3661) == "1h01m01s"
+    assert units.format_duration(-30) == "-30.0s"
+
+
+@given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+def test_format_bytes_total(n):
+    """Formatter never crashes and always returns a unit suffix."""
+    s = units.format_bytes(n)
+    assert any(s.endswith(u) for u in ("B", "kB", "MB", "GB", "TB"))
+
+
+@given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+def test_size_roundtrip_mb(n):
+    assert units.MB(n) / 1e6 == pytest.approx(n)

@@ -1,0 +1,151 @@
+"""Tests for the watcher substrate (observers + checkpointing)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError, WatcherError
+from repro.storage import VirtualFS
+from repro.watcher import CheckpointStore, PollingObserver, SimObserver
+
+
+# -- PollingObserver (real filesystem) -----------------------------------------
+
+
+def test_polling_observer_detects_new_files(tmp_path):
+    obs = PollingObserver(tmp_path)
+    seen = []
+    obs.add_handler(lambda e: seen.append(e.path))
+    assert obs.poll_once() == []
+    (tmp_path / "a.emd").write_bytes(b"x" * 10)
+    events = obs.poll_once()
+    assert len(events) == 1
+    assert events[0].path.endswith("a.emd")
+    assert events[0].size_bytes == 10
+    assert seen == [events[0].path]
+    # No re-trigger on the next poll.
+    assert obs.poll_once() == []
+
+
+def test_polling_observer_preexisting_files_not_reported(tmp_path):
+    (tmp_path / "old.emd").write_bytes(b"x")
+    obs = PollingObserver(tmp_path)
+    assert obs.poll_once() == []
+
+
+def test_polling_observer_suffix_filter(tmp_path):
+    obs = PollingObserver(tmp_path, suffixes=(".emd",))
+    (tmp_path / "junk.tmp").write_bytes(b"x")
+    (tmp_path / "good.emd").write_bytes(b"x")
+    events = obs.poll_once()
+    assert [e.path.endswith(".emd") for e in events] == [True]
+
+
+def test_polling_observer_recursive(tmp_path):
+    obs = PollingObserver(tmp_path, recursive=True)
+    sub = tmp_path / "deep" / "deeper"
+    sub.mkdir(parents=True)
+    (sub / "x.emd").write_bytes(b"x")
+    assert len(obs.poll_once()) == 1
+
+
+def test_polling_observer_bad_root():
+    with pytest.raises(WatcherError):
+        PollingObserver("/nonexistent/road/to/nowhere")
+
+
+def test_polling_observer_run_for(tmp_path):
+    obs = PollingObserver(tmp_path)
+    (tmp_path / "a.emd").write_bytes(b"x")
+    n = obs.run_for(duration_s=0.3, interval_s=0.05)
+    assert n == 1
+    with pytest.raises(WatcherError):
+        obs.run_for(0.1, interval_s=0)
+
+
+# -- SimObserver ------------------------------------------------------------------
+
+
+def test_sim_observer_dispatches_creations():
+    vfs = VirtualFS("user")
+    obs = SimObserver(vfs, prefix="/transfer")
+    seen = []
+    obs.add_handler(lambda e: seen.append((e.path, e.size_bytes)))
+    vfs.create("/transfer/a.emd", 100, created_at=1.0)
+    vfs.create("/elsewhere/b.emd", 200, created_at=2.0)  # outside prefix
+    vfs.create("/transfer/notes.txt", 5, created_at=3.0)  # wrong suffix
+    assert seen == [("/transfer/a.emd", 100)]
+    assert obs.events_seen == 1
+
+
+def test_sim_observer_event_carries_virtual_file():
+    vfs = VirtualFS("user")
+    obs = SimObserver(vfs)
+    got = []
+    obs.add_handler(lambda e: got.append(e))
+    vfs.create("/transfer/a.emd", 100, created_at=1.0)
+    assert got[0].virtual is not None
+    assert got[0].virtual.checksum
+    assert got[0].is_emd
+
+
+def test_sim_observer_stop_detaches():
+    vfs = VirtualFS("user")
+    obs = SimObserver(vfs)
+    seen = []
+    obs.add_handler(lambda e: seen.append(e))
+    obs.stop()
+    obs.stop()  # idempotent
+    vfs.create("/transfer/a.emd", 100, created_at=1.0)
+    assert seen == []
+
+
+# -- CheckpointStore -----------------------------------------------------------------
+
+
+def test_checkpoint_memory_roundtrip():
+    ckpt = CheckpointStore()
+    assert not ckpt.is_processed("/a", "c1")
+    ckpt.mark_processed("/a", "c1")
+    assert ckpt.is_processed("/a", "c1")
+    assert not ckpt.is_processed("/a", "c2")  # new content retriggers
+    assert "/a" in ckpt and len(ckpt) == 1
+
+
+def test_checkpoint_persists_across_restart(tmp_path):
+    path = tmp_path / "ckpt.json"
+    ckpt = CheckpointStore(path)
+    ckpt.mark_processed("/transfer/a.emd", "abc")
+    # Simulate the user machine rebooting: new store, same file.
+    again = CheckpointStore(path)
+    assert again.is_processed("/transfer/a.emd", "abc")
+
+
+def test_checkpoint_forget(tmp_path):
+    path = tmp_path / "ckpt.json"
+    ckpt = CheckpointStore(path)
+    ckpt.mark_processed("/a", "c")
+    ckpt.forget("/a")
+    ckpt.forget("/a")  # idempotent
+    assert not CheckpointStore(path).is_processed("/a", "c")
+
+
+def test_checkpoint_corrupt_file_detected(tmp_path):
+    path = tmp_path / "ckpt.json"
+    path.write_text("{invalid json")
+    with pytest.raises(CheckpointError, match="corrupt"):
+        CheckpointStore(path)
+    path.write_text(json.dumps({"a": 1}))  # wrong value type
+    with pytest.raises(CheckpointError, match="malformed"):
+        CheckpointStore(path)
+
+
+def test_checkpoint_write_is_atomic(tmp_path):
+    path = tmp_path / "ckpt.json"
+    ckpt = CheckpointStore(path)
+    for i in range(20):
+        ckpt.mark_processed(f"/f{i}", f"c{i}")
+    doc = json.loads(path.read_text())
+    assert len(doc) == 20
