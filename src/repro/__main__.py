@@ -8,6 +8,8 @@ Commands
     Run a short campaign and build the static portal site.
 ``quicklook``
     Acquire a real hyperspectral cube and run the Fig. 2 pipeline.
+``lint``
+    Run the determinism & flow-safety static analyzer (``repro.lint``).
 """
 
 from __future__ import annotations
@@ -63,6 +65,12 @@ def _cmd_quicklook(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -92,6 +100,14 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--output", default="quicklook_out")
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(fn=_cmd_quicklook)
+
+    p = sub.add_parser(
+        "lint", help="run the determinism & flow-safety static analyzer"
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

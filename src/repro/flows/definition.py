@@ -5,7 +5,9 @@ each binds an action provider to a parameter template — plus a start
 state.  Parameter templates use a JSONPath-like subset: any string value
 beginning with ``"$."`` is resolved against the run context, e.g.
 ``"$.input.source_path"`` or ``"$.states.TransferData.task_id"``, which
-is how Globus Flows threads one step's output into the next.
+is how Globus Flows threads one step's output into the next.  A doubled
+sigil escapes: ``"$$.raw"`` passes the literal string ``"$.raw"``
+through unresolved.
 """
 
 from __future__ import annotations
@@ -20,7 +22,15 @@ __all__ = ["FlowState", "FlowDefinition", "resolve_template"]
 
 def resolve_template(value: Any, context: dict[str, Any]) -> Any:
     """Recursively resolve ``$.`` references in ``value`` against
-    ``context``.  Unknown paths raise :class:`FlowDefinitionError`."""
+    ``context``.  Unknown paths raise :class:`FlowDefinitionError`
+    naming the first path segment that failed to resolve.
+
+    A literal string that genuinely starts with ``$.`` is written with a
+    doubled sigil: ``"$$.literal"`` resolves to the plain string
+    ``"$.literal"`` without any context lookup.
+    """
+    if isinstance(value, str) and value.startswith("$$."):
+        return value[1:]  # escape: "$$.x" -> literal "$.x"
     if isinstance(value, str) and value.startswith("$."):
         node: Any = context
         path = value[2:]
@@ -28,8 +38,10 @@ def resolve_template(value: Any, context: dict[str, Any]) -> Any:
             if isinstance(node, dict) and part in node:
                 node = node[part]
             else:
+                available = sorted(node) if isinstance(node, dict) else type(node).__name__
                 raise FlowDefinitionError(
-                    f"template path {value!r} not found in run context"
+                    f"template path {value!r}: segment {part!r} not found "
+                    f"in run context (available here: {available})"
                 )
         return node
     if isinstance(value, dict):

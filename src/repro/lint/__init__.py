@@ -1,0 +1,49 @@
+"""``repro.lint`` — determinism & flow-safety static analysis.
+
+The whole reproduction rests on one invariant: every simulated component
+is **deterministic under a seed**, so the paper's 1-hour campaigns
+replay identically in milliseconds.  Nothing in Python enforces that —
+one stray ``time.time()``, one unseeded ``random`` draw, one
+hash-ordered ``set`` iteration in scheduling code silently corrupts
+every benchmark.  This package is the enforcement: a self-contained,
+stdlib-``ast``-based analyzer with three rule packs,
+
+* **D1xx determinism** — wall-clock reads, sleeps, global RNGs,
+  unordered iteration, ``id()`` ordering, env-var reads;
+* **S2xx DES safety** — non-Event yields, unreleased resource requests,
+  swallowed simulation errors in process generators;
+* **F3xx flow validation** — dangling transitions, unreachable states,
+  forward ``$.states`` template references, unknown providers in
+  literal :class:`~repro.flows.FlowDefinition` constructions;
+
+plus ``# repro: noqa[RULE-ID]`` line suppressions, path-scoped
+allowances for the two files that legitimately touch the wall clock,
+and a CLI (``python -m repro lint``).  A tier-1 self-check test runs it
+over all of ``src/repro`` so any regression fails the ordinary pytest
+run.
+
+>>> from repro.lint import Analyzer
+>>> Analyzer().lint_source("import time\\nt = time.time()\\n")[0].rule_id
+'D101'
+"""
+
+from __future__ import annotations
+
+from .analyzer import Analyzer, FileContext, Rule, all_rules, register
+from .config import DEFAULT_ALLOW, LintConfig, discover_provider_names
+from .diagnostics import Diagnostic, Severity
+from .resolver import ImportResolver
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "LintConfig",
+    "DEFAULT_ALLOW",
+    "discover_provider_names",
+    "Diagnostic",
+    "Severity",
+    "ImportResolver",
+]

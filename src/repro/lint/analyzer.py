@@ -1,0 +1,285 @@
+"""The analyzer framework: rule registry, AST walker, suppressions.
+
+One :class:`Analyzer` holds a rule set and a :class:`LintConfig`; calling
+:meth:`Analyzer.lint_paths` parses each ``.py`` file once, walks the tree
+in source order with scope tracking, and dispatches nodes to every rule
+whose ``interests`` match.  Rules are stateless visitors: all per-file
+information (import resolution, parent links, enclosing-function flags)
+comes through the :class:`FileContext`.
+
+Suppressions
+------------
+A finding is dropped when its line carries a marker comment::
+
+    t0 = time.time()   # repro: noqa[D101]  calibration needs wall time
+    t1 = time.time()   # repro: noqa        (blanket: any rule)
+
+and when the config's path-scoped allowances permit the rule for the
+file (see :mod:`repro.lint.config`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from typing import Iterable, Optional, Sequence
+
+from .config import LintConfig
+from .diagnostics import Diagnostic, Severity
+from .resolver import ImportResolver
+
+__all__ = ["Rule", "FileContext", "Analyzer", "register", "all_rules"]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<ids>[\w\s,]+)\])?", re.IGNORECASE)
+
+#: rule_id -> rule class, in registration order (report order is by
+#: location anyway; the dict keeps lookup and ``--select`` validation O(1)).
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    rid = cls.rule_id
+    if not re.fullmatch(r"[DSF]\d{3}", rid):
+        raise ValueError(f"rule id must look like D101/S201/F301, got {rid!r}")
+    if rid in _REGISTRY and _REGISTRY[rid] is not cls:
+        raise ValueError(f"duplicate rule id {rid!r}")
+    _REGISTRY[rid] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type["Rule"]]:
+    """The registered rule catalog (importing :mod:`repro.lint.rules`
+    populates it)."""
+    from . import rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Subclasses set ``rule_id`` (``D``/``S``/``F`` + 3 digits),
+    ``severity``, a one-line ``summary``, and ``interests`` — the AST
+    node types their :meth:`visit` wants to see.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+    interests: tuple[type, ...] = ()
+
+    def visit(self, ctx: "FileContext", node: ast.AST) -> None:
+        raise NotImplementedError
+
+
+class _FunctionFrame:
+    """Scope info for one enclosing function during the walk."""
+
+    __slots__ = ("node", "is_generator", "is_process")
+
+    def __init__(self, node: ast.AST, is_generator: bool, is_process: bool) -> None:
+        self.node = node
+        self.is_generator = is_generator
+        self.is_process = is_process
+
+
+def _yields_at_level(fn: ast.AST) -> bool:
+    """True if ``fn`` contains a yield at its own nesting level (i.e. it
+    is a generator function, ignoring nested defs/lambdas)."""
+    stack = [c for c in ast.iter_child_nodes(fn)]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # new scope: its yields are not ours
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _touches_env(fn: ast.AST) -> bool:
+    """Heuristic for DES process generators: the function takes or uses
+    an ``env`` (an :class:`~repro.sim.Environment` by strong convention
+    throughout this codebase — ``env.timeout``, ``self.env.process``...)."""
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for a in list(args.args) + list(args.kwonlyargs) + list(args.posonlyargs):
+            if a.arg == "env":
+                return True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id == "env":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "env":
+            return True
+    return False
+
+
+class FileContext:
+    """Everything a rule may ask about the file being analyzed."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.resolver = ImportResolver(tree)
+        self.diagnostics: list[Diagnostic] = []
+        self._noqa = _collect_noqa(source)
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self._function_stack: list[_FunctionFrame] = []
+
+    # -- scope ----------------------------------------------------------
+    @property
+    def enclosing_function(self) -> Optional[ast.AST]:
+        return self._function_stack[-1].node if self._function_stack else None
+
+    @property
+    def in_generator(self) -> bool:
+        return bool(self._function_stack) and self._function_stack[-1].is_generator
+
+    @property
+    def in_process_generator(self) -> bool:
+        """Inside a generator that drives the DES kernel (yields events)."""
+        return bool(self._function_stack) and self._function_stack[-1].is_process
+
+    def parent(self, node: ast.AST, depth: int = 1) -> Optional[ast.AST]:
+        """The ``depth``-th syntactic ancestor of ``node`` (1 = direct)."""
+        current: Optional[ast.AST] = node
+        for _ in range(depth):
+            if current is None:
+                return None
+            current = self._parents.get(id(current))
+        return current
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain."""
+        return self.resolver.resolve(node)
+
+    # -- reporting ------------------------------------------------------
+    def report(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        """File a diagnostic unless suppressed by noqa or path config."""
+        line = getattr(node, "lineno", 1)
+        if self.config.allowed_for_path(self.path, rule.rule_id):
+            return
+        suppressed = self._noqa.get(line)
+        if suppressed is not None and (not suppressed or rule.rule_id in suppressed):
+            return
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=rule.rule_id,
+                severity=severity or rule.severity,
+                message=message,
+            )
+        )
+
+
+def _collect_noqa(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> suppressed rule ids (empty set = all rules)."""
+    out: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if not m:
+                continue
+            ids = m.group("ids")
+            out[tok.start[0]] = (
+                frozenset(x.strip().upper() for x in ids.split(",") if x.strip())
+                if ids
+                else frozenset()
+            )
+    except tokenize.TokenError:
+        pass  # a syntactically broken file already failed ast.parse
+    return out
+
+
+class Analyzer:
+    """Run a rule set over files, sources, or directory trees."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> None:
+        self.config = config or LintConfig()
+        if rules is None:
+            rules = [cls() for cls in all_rules().values()]
+        self.rules = [r for r in rules if self.config.rule_enabled(r.rule_id)]
+
+    # -- entry points ---------------------------------------------------
+    def lint_source(self, source: str, path: str = "<string>") -> list[Diagnostic]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    rule_id="E000",
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        ctx = FileContext(path, source, tree, self.config)
+        self._walk(ctx, tree)
+        return sorted(ctx.diagnostics)
+
+    def lint_file(self, path: str) -> list[Diagnostic]:
+        with open(path, "r", encoding="utf-8") as fh:
+            return self.lint_source(fh.read(), path=path)
+
+    def lint_paths(self, paths: Iterable[str]) -> list[Diagnostic]:
+        """Lint files and/or directory trees (``.py`` files, sorted walk
+        order so output is stable)."""
+        out: list[Diagnostic] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for dirpath, dirnames, filenames in os.walk(path):
+                    dirnames.sort()
+                    for name in sorted(filenames):
+                        if name.endswith(".py"):
+                            out.extend(self.lint_file(os.path.join(dirpath, name)))
+            else:
+                out.extend(self.lint_file(path))
+        return sorted(out)
+
+    # -- walking --------------------------------------------------------
+    def _walk(self, ctx: FileContext, node: ast.AST) -> None:
+        is_fn = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if is_fn:
+            gen = _yields_at_level(node)
+            ctx._function_stack.append(
+                _FunctionFrame(node, gen, gen and _touches_env(node))
+            )
+        for rule in self.rules:
+            if isinstance(node, rule.interests):
+                rule.visit(ctx, node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(ctx, child)
+        if is_fn:
+            ctx._function_stack.pop()

@@ -1,0 +1,113 @@
+"""``python -m repro lint`` — the command-line surface.
+
+Examples
+--------
+::
+
+    python -m repro lint src/repro                 # text report, exit 1 on errors
+    python -m repro lint src/repro --format json   # machine-readable findings
+    python -m repro lint --fail-on warn            # strict: warnings also fail
+    python -m repro lint --select D101,D102 path/  # run a subset of rules
+    python -m repro lint --list-rules              # print the catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Optional
+
+from .analyzer import Analyzer, all_rules
+from .config import LintConfig
+from .diagnostics import Severity
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def _default_target() -> str:
+    """The installed ``repro`` package directory."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["warn", "error"],
+        default="error",
+        help="lowest severity that causes a nonzero exit (default: error)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule ids to run exclusively (e.g. D101,S202)",
+    )
+    parser.add_argument(
+        "--ignore", default="", help="comma-separated rule ids to disable"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+
+
+def _parse_ids(text: str) -> frozenset[str]:
+    return frozenset(x.strip().upper() for x in text.split(",") if x.strip())
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    catalog = all_rules()
+    if args.list_rules:
+        for rid in sorted(catalog):
+            cls = catalog[rid]
+            print(f"{rid}  [{cls.severity}]  {cls.summary}")
+        return 0
+    for rid in _parse_ids(args.select) | _parse_ids(args.ignore):
+        if rid not in catalog:
+            print(f"unknown rule id: {rid} (try --list-rules)")
+            return 2
+    config = LintConfig(select=_parse_ids(args.select), ignore=_parse_ids(args.ignore))
+    analyzer = Analyzer(config=config)
+    paths = args.paths or [_default_target()]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such file or directory: {missing[0]}")
+        return 2
+    diagnostics = analyzer.lint_paths(paths)
+
+    if args.fmt == "json":
+        print(json.dumps([d.as_dict() for d in diagnostics], indent=2))
+    else:
+        for d in diagnostics:
+            print(d.format())
+        n_err = sum(1 for d in diagnostics if d.severity >= Severity.ERROR)
+        n_warn = len(diagnostics) - n_err
+        print(
+            f"{len(diagnostics)} finding(s): {n_err} error(s), "
+            f"{n_warn} warning(s) in {len(paths)} path(s)"
+        )
+
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(d.severity >= threshold for d in diagnostics) else 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="determinism & flow-safety static analyzer",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - `python -m repro.lint.cli`
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Per-directory analyzer configuration.
+
+Some files may legitimately touch what a rule forbids: the wall-clock
+pacing layer (``sim/realtime.py``) and the real-filesystem polling
+observer (``watcher/observer.py``) exist precisely to bridge simulated
+and real time.  Rather than scattering ``noqa`` comments, the config
+carries **path-scoped rule allowances**: glob patterns (matched against
+the file's POSIX path *suffix*) mapping to the rule ids permitted there.
+
+The flow-validation pack also needs the set of registered action
+provider names.  To keep the analyzer purely static it does not import
+any :mod:`repro` module; it AST-scans the package for provider-shaped
+classes (a literal ``name = "..."`` attribute plus ``run``/``status``
+methods), falling back to the known builtin trio.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import functools
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["LintConfig", "DEFAULT_ALLOW", "discover_provider_names"]
+
+#: Default path-scoped allowances. Keys are glob patterns, values the rule
+#: ids those files may violate.  ``sim/realtime.py`` *is* the wall clock
+#: bridge; ``watcher/observer.py`` polls a real directory tree (its loop
+#: takes injectable clock/sleep callables, but the defaults reference the
+#: real clock and demos drive it for wall-clock durations).
+DEFAULT_ALLOW: dict[str, frozenset[str]] = {
+    "sim/realtime.py": frozenset({"D101", "D102"}),
+    "watcher/observer.py": frozenset({"D101", "D102"}),
+}
+
+#: Fallback provider registry when ``providers.py`` cannot be scanned.
+BUILTIN_PROVIDERS = frozenset({"transfer", "compute", "search_ingest"})
+
+
+def _provider_names_in_tree(tree: ast.AST) -> set[str]:
+    """Provider-shaped classes: a literal ``name = "..."`` class
+    attribute alongside ``run`` and ``status`` methods."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            s.name for s in node.body if isinstance(s, ast.FunctionDef)
+        }
+        if not {"run", "status"} <= methods:
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "name"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                names.add(stmt.value.value)
+    return names
+
+
+@functools.lru_cache(maxsize=8)
+def discover_provider_names(package_root: Optional[str] = None) -> frozenset[str]:
+    """Collect action-provider names by statically scanning the
+    ``repro`` package (default: the package containing this file) for
+    provider-shaped classes.
+
+    Returns :data:`BUILTIN_PROVIDERS` if nothing is found (so the
+    analyzer still works on partial checkouts).  Memoized: the scan is
+    pure-static, and one analyzer run builds many configs.
+    """
+    if package_root is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    names: set[str] = set()
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            try:
+                with open(os.path.join(dirpath, fname), encoding="utf-8") as fh:
+                    tree = ast.parse(fh.read())
+            except (OSError, SyntaxError):
+                continue
+            names |= _provider_names_in_tree(tree)
+    return frozenset(names) if names else BUILTIN_PROVIDERS
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Analyzer configuration.
+
+    Parameters
+    ----------
+    allow:
+        ``{path glob: rule ids}`` — rules suppressed for matching files.
+    select:
+        If non-empty, only these rule ids run.
+    ignore:
+        Rule ids disabled everywhere.
+    known_providers:
+        Action-provider names the ``F304`` rule accepts; defaults to a
+        static scan of ``repro/flows/providers.py``.
+    """
+
+    allow: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOW)
+    )
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+    known_providers: frozenset[str] = field(default_factory=discover_provider_names)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select and rule_id not in self.select:
+            return False
+        return True
+
+    def allowed_for_path(self, path: str, rule_id: str) -> bool:
+        """True when ``rule_id`` is explicitly permitted for ``path``."""
+        posix = path.replace(os.sep, "/")
+        for pattern, rule_ids in self.allow.items():
+            if rule_id not in rule_ids:
+                continue
+            if fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch(
+                posix, "*/" + pattern
+            ):
+                return True
+        return False

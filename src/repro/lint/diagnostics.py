@@ -1,0 +1,64 @@
+"""Diagnostic objects emitted by the analyzer.
+
+A :class:`Diagnostic` is one finding: a rule id (``D101``, ``S202``,
+``F303``...), a severity, a location (``file:line:col``), and a
+human-readable message.  Diagnostics sort by location so reports are
+stable regardless of rule execution order — the analyzer itself must be
+as deterministic as the code it polices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels (comparable: ``ERROR > WARNING``)."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return {"warn": cls.WARNING, "warning": cls.WARNING, "error": cls.ERROR}[
+                text.strip().lower()
+            ]
+        except KeyError:
+            raise ValueError(f"unknown severity: {text!r}") from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One analyzer finding, ordered by (path, line, col, rule_id)."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RULE [severity] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (for ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

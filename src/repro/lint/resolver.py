@@ -1,0 +1,68 @@
+"""Import-aware name resolution for one module.
+
+Rules match on **canonical dotted names** ("``time.monotonic``",
+"``numpy.random.seed``"), not surface syntax, so aliases cannot dodge
+them: ``import time as _t; _t.monotonic()`` and
+``from time import monotonic as now; now()`` both resolve to
+``time.monotonic``.  Local rebindings shadow imports — after
+``time = FakeClock()``, ``time.monotonic`` no longer resolves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["ImportResolver"]
+
+
+class ImportResolver:
+    """Maps names in a parsed module back to canonical dotted paths."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: local alias -> canonical dotted prefix ("np" -> "numpy",
+        #: "monotonic" -> "time.monotonic")
+        self.aliases: dict[str, str] = {}
+        shadowed: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    local = a.asname or a.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds c -> a.b
+                    self.aliases[local] = a.name if a.asname else a.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: stays package-internal
+                    continue
+                for a in node.names:
+                    if a.name == "*":
+                        continue
+                    local = a.asname or a.name
+                    self.aliases[local] = f"{node.module}.{a.name}"
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        shadowed.add(t.id)
+        for name in shadowed:
+            self.aliases.pop(name, None)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name for a ``Name``/``Attribute`` chain, or
+        ``None`` when the root is not a recognized import."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted name of a call's callee."""
+        return self.resolve(call.func)

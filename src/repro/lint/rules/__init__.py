@@ -1,0 +1,46 @@
+"""The rule catalog.
+
+Importing this package registers every rule with the analyzer's global
+registry.  Three packs, id-spaced by concern:
+
+* ``D1xx`` — determinism under a seed (:mod:`.determinism`)
+* ``S2xx`` — DES kernel safety (:mod:`.des_safety`)
+* ``F3xx`` — flow-definition validation (:mod:`.flowdef`)
+"""
+
+from __future__ import annotations
+
+from . import des_safety, determinism, flowdef  # noqa: F401  (registration)
+from .des_safety import SwallowedSimError, UnreleasedRequest, YieldNonEvent
+from .determinism import (
+    EnvVarRead,
+    GlobalRandom,
+    IdentityOrdering,
+    LegacyNumpyRandom,
+    UnorderedIteration,
+    WallClockCall,
+    WallSleep,
+)
+from .flowdef import (
+    DanglingTransition,
+    ForwardStateReference,
+    UnknownProvider,
+    UnreachableState,
+)
+
+__all__ = [
+    "WallClockCall",
+    "WallSleep",
+    "GlobalRandom",
+    "LegacyNumpyRandom",
+    "EnvVarRead",
+    "UnorderedIteration",
+    "IdentityOrdering",
+    "YieldNonEvent",
+    "UnreleasedRequest",
+    "SwallowedSimError",
+    "DanglingTransition",
+    "UnreachableState",
+    "ForwardStateReference",
+    "UnknownProvider",
+]

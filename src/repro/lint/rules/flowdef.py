@@ -1,0 +1,268 @@
+"""F-rules: static validation of literal flow definitions.
+
+``FlowDefinition`` validates its state table at *construction* time, but
+a flow wired at module import or deep inside a campaign only blows up
+when that code path finally runs.  These rules evaluate **fully literal**
+``FlowDefinition(...)``/``FlowState(...)`` constructions at review time:
+dangling ``next`` targets, unreachable states, ``$.states.X`` template
+paths that reference states which cannot have run yet, and provider
+names absent from the action-provider registry.  Constructions with any
+dynamic part (f-strings, variables, comprehensions) are skipped — the
+rules only report what is certain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analyzer import FileContext, Rule, register
+from ..diagnostics import Severity
+
+__all__ = [
+    "DanglingTransition",
+    "UnreachableState",
+    "ForwardStateReference",
+    "UnknownProvider",
+]
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _kw(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _const_str(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@dataclass
+class _LiteralState:
+    """A FlowState(...) call whose name/next were literal strings."""
+
+    node: ast.Call
+    name: str
+    next: Optional[str]
+    has_literal_next: bool  # False when `next=` was present but dynamic
+    parameters: Optional[ast.AST]
+
+
+def _literal_states(states_node: Optional[ast.AST]) -> Optional[list[_LiteralState]]:
+    """Parse a literal tuple/list of FlowState(...) calls; ``None`` when
+    anything is dynamic (so callers skip the whole definition)."""
+    if not isinstance(states_node, (ast.Tuple, ast.List)):
+        return None
+    out: list[_LiteralState] = []
+    for elt in states_node.elts:
+        if not (isinstance(elt, ast.Call) and _callee_name(elt) == "FlowState"):
+            return None
+        name = _const_str(_kw(elt, "name"))
+        if name is None and elt.args:
+            name = _const_str(elt.args[0])
+        if name is None:
+            return None
+        next_node = _kw(elt, "next")
+        if next_node is None:
+            nxt, literal_next = None, True
+        elif isinstance(next_node, ast.Constant) and next_node.value is None:
+            nxt, literal_next = None, True
+        else:
+            nxt = _const_str(next_node)
+            literal_next = nxt is not None
+        out.append(
+            _LiteralState(
+                node=elt,
+                name=name,
+                next=nxt,
+                has_literal_next=literal_next,
+                parameters=_kw(elt, "parameters"),
+            )
+        )
+    return out
+
+
+def _parse_definition(
+    call: ast.Call,
+) -> Optional[tuple[Optional[str], list[_LiteralState]]]:
+    if _callee_name(call) != "FlowDefinition":
+        return None
+    states = _literal_states(_kw(call, "states"))
+    if states is None:
+        return None
+    return _const_str(_kw(call, "start_at")), states
+
+
+def _chain_order(
+    start_at: Optional[str], states: list[_LiteralState]
+) -> list[str]:
+    """State names in execution order from ``start_at`` (cycle-safe)."""
+    by_name = {s.name: s for s in states}
+    order: list[str] = []
+    current = start_at
+    while current is not None and current in by_name and current not in order:
+        order.append(current)
+        s = by_name[current]
+        current = s.next if s.has_literal_next else None
+    return order
+
+
+@register
+class DanglingTransition(Rule):
+    """F301: a literal ``next``/``start_at`` naming a state that does not
+    exist fails only when the definition is finally constructed."""
+
+    rule_id = "F301"
+    severity = Severity.ERROR
+    summary = "literal FlowDefinition has a dangling next/start_at target"
+    interests = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> None:
+        parsed = _parse_definition(node)
+        if parsed is None:
+            return
+        start_at, states = parsed
+        names = {s.name for s in states}
+        if start_at is not None and start_at not in names:
+            ctx.report(
+                self,
+                node,
+                f"start_at={start_at!r} is not among states "
+                f"{sorted(names)}",
+            )
+        for s in states:
+            if s.has_literal_next and s.next is not None and s.next not in names:
+                ctx.report(
+                    self,
+                    s.node,
+                    f"state {s.name!r} transitions to unknown state "
+                    f"{s.next!r}",
+                )
+
+
+@register
+class UnreachableState(Rule):
+    """F302: states never visited from ``start_at`` are dead weight at
+    best and a mis-wired flow at worst."""
+
+    rule_id = "F302"
+    severity = Severity.ERROR
+    summary = "literal FlowDefinition contains unreachable states"
+    interests = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> None:
+        parsed = _parse_definition(node)
+        if parsed is None:
+            return
+        start_at, states = parsed
+        names = {s.name for s in states}
+        if start_at is None or start_at not in names:
+            return  # F301's finding; reachability is meaningless
+        if any(s.has_literal_next and s.next is not None and s.next not in names
+               for s in states):
+            return  # dangling target: chain is broken, F301 reports it
+        reachable = set(_chain_order(start_at, states))
+        for s in states:
+            if s.name not in reachable:
+                ctx.report(
+                    self,
+                    s.node,
+                    f"state {s.name!r} is unreachable from start_at="
+                    f"{start_at!r}",
+                )
+
+
+def _template_refs(parameters: ast.AST) -> list[tuple[ast.AST, str]]:
+    """All literal ``$.states.<name>`` references nested in a parameters
+    expression, with the node carrying each."""
+    out: list[tuple[ast.AST, str]] = []
+    for sub in ast.walk(parameters):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value
+            if text.startswith("$.states."):
+                rest = text[len("$.states."):]
+                state = rest.split(".", 1)[0]
+                if state:
+                    out.append((sub, state))
+    return out
+
+
+@register
+class ForwardStateReference(Rule):
+    """F303: ``$.states.X`` parameter templates resolve against *already
+    completed* steps; referencing the current or a later state can never
+    resolve at run time."""
+
+    rule_id = "F303"
+    severity = Severity.ERROR
+    summary = "$.states template references a state that has not run yet"
+    interests = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> None:
+        parsed = _parse_definition(node)
+        if parsed is None:
+            return
+        start_at, states = parsed
+        order = _chain_order(start_at, states)
+        position = {name: i for i, name in enumerate(order)}
+        names = {s.name for s in states}
+        for s in states:
+            if s.parameters is None or s.name not in position:
+                continue
+            for ref_node, ref in _template_refs(s.parameters):
+                if ref not in names:
+                    ctx.report(
+                        self,
+                        ref_node,
+                        f"state {s.name!r} references '$.states.{ref}' but "
+                        f"no state {ref!r} exists in this flow",
+                    )
+                elif ref not in position or position[ref] >= position[s.name]:
+                    ctx.report(
+                        self,
+                        ref_node,
+                        f"state {s.name!r} references '$.states.{ref}', "
+                        f"which cannot have completed before {s.name!r} "
+                        f"runs",
+                    )
+
+
+@register
+class UnknownProvider(Rule):
+    """F304: a provider name outside the action-provider registry means
+    the flow deploys but every run fails at that step."""
+
+    rule_id = "F304"
+    severity = Severity.ERROR
+    summary = "FlowState provider not in the provider registry"
+    interests = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> None:
+        if _callee_name(node) != "FlowState":
+            return
+        provider_node = _kw(node, "provider")
+        if provider_node is None and len(node.args) >= 2:
+            provider_node = node.args[1]
+        provider = _const_str(provider_node)
+        if provider is None:
+            return
+        known = ctx.config.known_providers
+        if known and provider not in known:
+            ctx.report(
+                self,
+                provider_node,
+                f"provider {provider!r} is not registered "
+                f"(known: {sorted(known)})",
+            )

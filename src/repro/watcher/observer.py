@@ -31,19 +31,30 @@ Handler = Callable[[FileCreatedEvent], None]
 
 
 class PollingObserver:
-    """Scan-based watcher over a real directory tree."""
+    """Scan-based watcher over a real directory tree.
+
+    ``clock`` and ``sleep`` are injectable so :meth:`run_for` is testable
+    without wall-clock waits: pass a fake pair advancing virtual time and
+    the poll loop runs instantly and deterministically.  The defaults are
+    the real ``time.monotonic``/``time.sleep`` (references only — this
+    module never calls the wall clock outside the injected pair).
+    """
 
     def __init__(
         self,
         root: "str | os.PathLike",
         suffixes: tuple[str, ...] = (".emd",),
         recursive: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.root = os.fspath(root)
         if not os.path.isdir(self.root):
             raise WatcherError(f"watched root is not a directory: {self.root}")
         self.suffixes = suffixes
         self.recursive = recursive
+        self._clock = clock
+        self._sleep = sleep
         self._handlers: list[Handler] = []
         self._known: set[str] = set(self._scan())
 
@@ -82,16 +93,18 @@ class PollingObserver:
         return events
 
     def run_for(self, duration_s: float, interval_s: float = 0.2) -> int:
-        """Blocking poll loop for ``duration_s`` wall seconds; returns the
-        number of events dispatched.  (Examples/demos only — tests and
-        simulations use :class:`SimObserver`.)"""
+        """Blocking poll loop for ``duration_s`` clock seconds; returns
+        the number of events dispatched.  Uses the injected
+        ``clock``/``sleep`` pair, so with the defaults this blocks for
+        real wall time (examples/demos) and with fakes it runs instantly
+        (tests); simulations use :class:`SimObserver` instead."""
         if interval_s <= 0:
             raise WatcherError("interval must be positive")
-        deadline = time.monotonic() + duration_s
+        deadline = self._clock() + duration_s
         n = 0
-        while time.monotonic() < deadline:
+        while self._clock() < deadline:
             n += len(self.poll_once())
-            time.sleep(interval_s)
+            self._sleep(interval_s)
         return n
 
 

@@ -1,0 +1,351 @@
+"""Per-rule fixtures: every rule has at least one positive snippet (the
+rule fires) and one negative (clean, or noqa-suppressed)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import Analyzer, LintConfig
+
+
+def lint(source: str, **config_kwargs):
+    """Lint a snippet with no path allowances (so every rule can fire)."""
+    config_kwargs.setdefault("allow", {})
+    analyzer = Analyzer(config=LintConfig(**config_kwargs))
+    return analyzer.lint_source(textwrap.dedent(source), path="snippet.py")
+
+
+def rule_ids(source: str, **config_kwargs):
+    return [d.rule_id for d in lint(source, **config_kwargs)]
+
+
+# -- D101: wall-clock calls ---------------------------------------------------
+
+
+def test_d101_fires_on_time_time():
+    assert "D101" in rule_ids("import time\nt = time.time()\n")
+
+
+def test_d101_sees_through_aliases():
+    assert "D101" in rule_ids("import time as _t\nt = _t.monotonic()\n")
+    assert "D101" in rule_ids("from time import perf_counter\nt = perf_counter()\n")
+    assert "D101" in rule_ids(
+        "from datetime import datetime\nd = datetime.now()\n"
+    )
+
+
+def test_d101_clean_on_env_now_and_rebound_time():
+    assert rule_ids("def f(env):\n    return env.now\n") == []
+    # a local rebinding shadows the import: no longer the stdlib clock
+    assert rule_ids("import time\ntime = FakeClock()\nt = time.time()\n") == []
+
+
+# -- D102: time.sleep ---------------------------------------------------------
+
+
+def test_d102_fires_on_sleep():
+    assert "D102" in rule_ids("import time\ntime.sleep(0.1)\n")
+    assert "D102" in rule_ids("from time import sleep\nsleep(1)\n")
+
+
+def test_d102_clean_on_injected_sleep():
+    assert (
+        rule_ids("def run(sleep):\n    sleep(0.1)\n") == []
+    )  # injected callable, not the stdlib
+
+
+# -- D103: global random ------------------------------------------------------
+
+
+def test_d103_fires_on_global_random():
+    assert "D103" in rule_ids("import random\nx = random.random()\n")
+    assert "D103" in rule_ids("import random\nrandom.seed(1)\n")
+
+
+def test_d103_clean_on_rng_streams():
+    src = """
+    from repro.rng import RngRegistry
+    rng = RngRegistry(1).stream("jitter")
+    x = rng.normal()
+    """
+    assert rule_ids(src) == []
+
+
+# -- D104: legacy numpy.random ------------------------------------------------
+
+
+def test_d104_fires_on_legacy_np_random():
+    assert "D104" in rule_ids("import numpy as np\nx = np.random.rand(4)\n")
+    assert "D104" in rule_ids("import numpy\nnumpy.random.seed(0)\n")
+
+
+def test_d104_clean_on_generator_api():
+    assert rule_ids("import numpy as np\nr = np.random.default_rng(3)\n") == []
+    assert rule_ids("import numpy as np\ns = np.random.SeedSequence(7)\n") == []
+
+
+# -- D105: env-var reads ------------------------------------------------------
+
+
+def test_d105_fires_on_environ_reads():
+    ids = rule_ids("import os\na = os.environ['X']\nb = os.getenv('Y')\n")
+    assert ids.count("D105") == 2
+
+
+def test_d105_clean_on_explicit_config():
+    assert rule_ids("def f(cfg):\n    return cfg['X']\n") == []
+
+
+# -- D106: unordered iteration ------------------------------------------------
+
+
+def test_d106_fires_on_set_iteration_and_popitem():
+    assert "D106" in rule_ids("for x in {1, 2, 3}:\n    print(x)\n")
+    assert "D106" in rule_ids("xs = [y for y in set([1, 2])]\n")
+    assert "D106" in rule_ids("d = {'a': 1}\nk, v = d.popitem()\n")
+
+
+def test_d106_clean_when_sorted():
+    assert rule_ids("for x in sorted({1, 2, 3}):\n    print(x)\n") == []
+    assert rule_ids("for x in sorted(set([1, 2])):\n    print(x)\n") == []
+
+
+# -- D107: id()-based ordering ------------------------------------------------
+
+
+def test_d107_fires_on_id_ordering():
+    assert "D107" in rule_ids("xs = sorted([1, 2], key=id)\n")
+    assert "D107" in rule_ids("if id(a) < id(b):\n    pass\n")
+
+
+def test_d107_clean_on_identity_equality():
+    # id() equality is a plain identity test, stable within one run
+    assert rule_ids("same = id(a) == id(b)\n") == []
+    assert rule_ids("xs = sorted([2, 1])\n") == []
+
+
+# -- S201: yielding non-events ------------------------------------------------
+
+
+def test_s201_fires_on_literal_yields_in_process_generators():
+    assert "S201" in rule_ids("def proc(env):\n    yield 5\n")
+    assert "S201" in rule_ids("def proc(env):\n    yield\n")
+
+
+def test_s201_ignores_plain_iterators_and_event_yields():
+    # a generator that never touches an env is not a DES process
+    assert rule_ids("def gen():\n    yield 5\n") == []
+    assert rule_ids("def proc(env):\n    yield env.timeout(1.0)\n") == []
+
+
+# -- S202: unreleased resource requests --------------------------------------
+
+
+def test_s202_fires_when_request_never_released():
+    src = """
+    def proc(env, pool):
+        req = pool.request()
+        yield req
+        yield env.timeout(10)
+    """
+    assert "S202" in rule_ids(src)
+
+
+def test_s202_fires_when_request_discarded():
+    src = """
+    def proc(env, pool):
+        yield pool.request()
+    """
+    assert "S202" in rule_ids(src)
+
+
+def test_s202_accepts_with_tryfinally_and_ownership_transfer():
+    clean_with = """
+    def proc(env, pool):
+        with pool.request() as req:
+            yield req
+            yield env.timeout(10)
+    """
+    clean_finally = """
+    def proc(env, pool):
+        req = pool.request()
+        try:
+            yield req
+            yield env.timeout(10)
+        finally:
+            req.release()
+    """
+    clean_transfer = """
+    def provision(env, pool):
+        req = pool.request()
+        yield req
+        return Node(request=req)
+    """
+    assert rule_ids(clean_with) == []
+    assert rule_ids(clean_finally) == []
+    assert rule_ids(clean_transfer) == []
+
+
+# -- S203: swallowed errors ---------------------------------------------------
+
+
+def test_s203_fires_on_bare_except_anywhere():
+    assert "S203" in rule_ids("try:\n    f()\nexcept:\n    pass\n")
+
+
+def test_s203_fires_on_pass_only_broad_handler_in_process():
+    src = """
+    def proc(env):
+        try:
+            yield env.timeout(1)
+        except Exception:
+            pass
+    """
+    assert "S203" in rule_ids(src)
+
+
+def test_s203_accepts_handlers_that_record_or_reraise():
+    src = """
+    def proc(env, record):
+        try:
+            yield env.timeout(1)
+        except Exception as exc:
+            record["error"] = str(exc)
+    """
+    assert rule_ids(src) == []
+
+
+# -- F301: dangling transitions ----------------------------------------------
+
+
+def test_f301_fires_on_dangling_next_and_bad_start():
+    dangling = """
+    d = FlowDefinition(
+        title="t", start_at="A",
+        states=(FlowState(name="A", provider="transfer", next="Missing"),),
+    )
+    """
+    bad_start = """
+    d = FlowDefinition(
+        title="t", start_at="Nope",
+        states=(FlowState(name="A", provider="transfer"),),
+    )
+    """
+    assert "F301" in rule_ids(dangling)
+    assert "F301" in rule_ids(bad_start)
+
+
+def test_f301_clean_on_wellformed_chain():
+    src = """
+    d = FlowDefinition(
+        title="t", start_at="A",
+        states=(
+            FlowState(name="A", provider="transfer", next="B"),
+            FlowState(name="B", provider="compute"),
+        ),
+    )
+    """
+    assert rule_ids(src) == []
+
+
+# -- F302: unreachable states -------------------------------------------------
+
+
+def test_f302_fires_on_unreachable_state():
+    src = """
+    d = FlowDefinition(
+        title="t", start_at="A",
+        states=(
+            FlowState(name="A", provider="transfer"),
+            FlowState(name="Orphan", provider="compute"),
+        ),
+    )
+    """
+    assert "F302" in rule_ids(src)
+
+
+def test_f302_skips_dynamic_definitions():
+    src = """
+    states = build_states()
+    d = FlowDefinition(title="t", start_at="A", states=states)
+    """
+    assert rule_ids(src) == []
+
+
+# -- F303: forward $.states references ---------------------------------------
+
+
+def test_f303_fires_on_forward_and_unknown_references():
+    forward = """
+    d = FlowDefinition(
+        title="t", start_at="A",
+        states=(
+            FlowState(name="A", provider="transfer",
+                      parameters={"x": "$.states.B.out"}, next="B"),
+            FlowState(name="B", provider="compute"),
+        ),
+    )
+    """
+    unknown = """
+    d = FlowDefinition(
+        title="t", start_at="A",
+        states=(
+            FlowState(name="A", provider="transfer", next="B"),
+            FlowState(name="B", provider="compute",
+                      parameters={"x": "$.states.Ghost.out"}),
+        ),
+    )
+    """
+    assert "F303" in rule_ids(forward)
+    assert "F303" in rule_ids(unknown)
+
+
+def test_f303_clean_on_backward_reference():
+    src = """
+    d = FlowDefinition(
+        title="t", start_at="A",
+        states=(
+            FlowState(name="A", provider="transfer", next="B"),
+            FlowState(name="B", provider="compute",
+                      parameters={"x": "$.states.A.task_id"}),
+        ),
+    )
+    """
+    assert rule_ids(src) == []
+
+
+# -- F304: unknown providers --------------------------------------------------
+
+
+def test_f304_fires_on_unknown_provider():
+    src = 's = FlowState(name="A", provider="never_registered")\n'
+    assert "F304" in rule_ids(src)
+
+
+def test_f304_accepts_registry_and_dynamic_providers():
+    assert rule_ids('s = FlowState(name="A", provider="transfer")\n') == []
+    assert rule_ids('s = FlowState(name="A", provider="local_compress")\n') == []
+    # dynamic provider names are out of static reach: skipped, not flagged
+    assert rule_ids('s = FlowState(name="A", provider=make_provider())\n') == []
+
+
+# -- suppression paths shared by all rules ------------------------------------
+
+
+@pytest.mark.parametrize(
+    "snippet, rid",
+    [
+        ("import time\nt = time.time()  # repro: noqa[D101] calibration\n", "D101"),
+        ("import time\ntime.sleep(1)  # repro: noqa\n", "D102"),
+        ("import random\nrandom.random()  # repro: noqa[D103] demo only\n", "D103"),
+    ],
+)
+def test_noqa_suppresses_each_pack(snippet, rid):
+    assert rid not in rule_ids(snippet)
+
+
+def test_noqa_with_wrong_id_does_not_suppress():
+    src = "import time\nt = time.time()  # repro: noqa[D999]\n"
+    assert "D101" in rule_ids(src)

@@ -65,6 +65,48 @@ def test_polling_observer_run_for(tmp_path):
         obs.run_for(0.1, interval_s=0)
 
 
+class FakeClock:
+    """Virtual monotonic clock: sleep() advances time, nothing blocks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def test_polling_observer_injectable_clock_runs_without_wall_waits(tmp_path):
+    clock = FakeClock()
+    obs = PollingObserver(tmp_path, clock=clock, sleep=clock.sleep)
+    (tmp_path / "a.emd").write_bytes(b"x")
+    n = obs.run_for(duration_s=10.0, interval_s=0.5)
+    assert n == 1
+    # The loop ran entirely on virtual time: 20 polls, zero wall waiting.
+    assert clock.sleeps == [0.5] * 20
+    assert clock.now == pytest.approx(10.0)
+
+
+def test_polling_observer_injectable_clock_sees_files_per_poll(tmp_path):
+    clock = FakeClock()
+
+    def sleep(seconds: float) -> None:
+        clock.sleep(seconds)
+        if len(clock.sleeps) == 1:
+            # A new file appears during the first sleep interval.
+            (tmp_path / "late.emd").write_bytes(b"y")
+
+    obs = PollingObserver(tmp_path, clock=clock, sleep=sleep)
+    seen: list[str] = []
+    obs.add_handler(lambda e: seen.append(e.path))
+    assert obs.run_for(duration_s=2.0, interval_s=0.5) == 1
+    assert seen and seen[0].endswith("late.emd")
+
+
 # -- SimObserver ------------------------------------------------------------------
 
 
