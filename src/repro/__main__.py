@@ -10,6 +10,9 @@ Commands
     Acquire a real hyperspectral cube and run the Fig. 2 pipeline.
 ``lint``
     Run the determinism & flow-safety static analyzer (``repro.lint``).
+``sanitize``
+    Run a campaign under the DES schedule-race sanitizer, rerun it with
+    the same-tick tie-break reversed, and diff the event traces.
 """
 
 from __future__ import annotations
@@ -71,6 +74,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from .core.sanitize import sanitize_campaign
+    from .lint.cli import render_report
+    from .lint.diagnostics import Severity
+
+    result = sanitize_campaign(
+        args.use_case, duration_s=args.duration, seed=args.seed
+    )
+    diagnostics = result.diagnostics()
+    report = render_report(diagnostics, args.fmt, tool_name="repro.sanitize")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {len(diagnostics)} finding(s) to {args.output}")
+    else:
+        print(report)
+    if args.fmt == "text":
+        verdict = (
+            "schedule-clean: traces identical under reversed tie-break"
+            if result.clean
+            else "schedule races detected"
+        )
+        print(
+            f"{args.use_case}: {len(result.forward.runs)} run(s), "
+            f"{len(result.divergences)} trace divergence(s) — {verdict}"
+        )
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(d.severity >= threshold for d in diagnostics) else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -108,6 +141,27 @@ def main(argv: "list[str] | None" = None) -> int:
 
     add_lint_arguments(p)
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="detect DES schedule races by reversing the same-tick tie-break",
+    )
+    p.add_argument(
+        "use_case",
+        nargs="?",
+        default="hyperspectral",
+        choices=["hyperspectral", "spatiotemporal", "spectral-movie"],
+    )
+    p.add_argument("--duration", type=float, default=600.0, help="simulated seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--fail-on", choices=["warn", "error"], default="error")
+    p.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text", dest="fmt"
+    )
+    p.add_argument(
+        "--output", default=None, help="write the report to this path"
+    )
+    p.set_defaults(fn=_cmd_sanitize)
 
     args = parser.parse_args(argv)
     return args.fn(args)

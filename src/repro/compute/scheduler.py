@@ -104,6 +104,7 @@ class BatchScheduler:
         boot_delay = lognormal_from_median(rng, self.boot_median_s, self.boot_sigma)
         if boot_delay > 0:
             yield self.env.timeout(boot_delay)
+        self.env.touch(self, "w")
         self.provision_count += 1
         return Node(
             node_id=f"node-{next(self._ids):03d}",
@@ -116,5 +117,6 @@ class BatchScheduler:
         if node.released:
             raise SchedulerError(f"{node.node_id} already released")
         node.released = True
+        self.env.touch(self, "w")
         node.request.release()
         self.release_count += 1

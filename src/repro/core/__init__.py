@@ -9,6 +9,7 @@ statistics (``stats``).
 
 from .app import FlowTriggerApp
 from .campaign import CampaignResult, run_campaign, use_case_by_name
+from .sanitize import SanitizeResult, campaign_trace, sanitize_campaign
 from .functions import (
     analyze_hyperspectral_file,
     analyze_spatiotemporal_file,
@@ -41,6 +42,9 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "use_case_by_name",
+    "SanitizeResult",
+    "sanitize_campaign",
+    "campaign_trace",
     "file_descriptor",
     "analyze_virtual_hyperspectral",
     "analyze_virtual_spatiotemporal",

@@ -20,6 +20,7 @@ from ..instrument import (
     FileCopier,
     UseCaseSpec,
 )
+from ..sim import Environment
 from ..testbed import DEFAULT_CALIBRATION, Calibration, Testbed, build_testbed
 from ..transfer import NO_FAULTS, FaultPlan
 from ..units import hours
@@ -87,6 +88,8 @@ def run_campaign(
     copier_mode: str = "gated",
     checkpoint: Optional[CheckpointStore] = None,
     compression: "object | None" = None,
+    sanitize: bool = False,
+    tiebreak: str = "fifo",
 ) -> CampaignResult:
     """Run one use case for ``duration_s`` simulated seconds.
 
@@ -96,6 +99,10 @@ def run_campaign(
     is used by the contention ablation.  Passing a
     :class:`~repro.core.extensions.CompressionSpec` as ``compression``
     inserts a compress-before-transfer state (future-work item 2).
+    ``sanitize``/``tiebreak`` configure the kernel's schedule-race
+    sanitizer (see :mod:`repro.core.sanitize`): with ``sanitize=True``
+    the returned result's ``testbed.env.sanitizer`` holds any detected
+    same-tick ordering hazards.
     """
     from .extensions import (
         CompressionSpec,
@@ -107,7 +114,10 @@ def run_campaign(
 
     if isinstance(use_case, str):
         use_case = use_case_by_name(use_case)
-    tb = build_testbed(seed=seed, calibration=calibration, fault_plan=fault_plan)
+    env = Environment(sanitize=sanitize, tiebreak=tiebreak)
+    tb = build_testbed(
+        env=env, seed=seed, calibration=calibration, fault_plan=fault_plan
+    )
 
     if use_case.signal_type == "hyperspectral":
         fn, cost = analyze_virtual_hyperspectral, hyperspectral_cost_model(

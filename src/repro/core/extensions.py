@@ -26,7 +26,7 @@ from typing import Any
 from ..emd import AcquisitionMetadata, SampleInfo
 from ..errors import FlowError
 from ..flows import FlowState, FlowDefinition, GladierClient, GladierTool
-from ..flows.action import ActionState, ActionStatus
+from ..flows.action import ActionState, ActionStatus, check_body
 from ..instrument import UseCaseSpec
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment
@@ -87,6 +87,8 @@ class LocalCompressProvider:
     """
 
     name = "local_compress"
+    input_schema = {"file": "dict", "codec?": "str"}
+    output_schema = {"file": "dict"}
 
     def __init__(
         self,
@@ -101,6 +103,7 @@ class LocalCompressProvider:
         self._actions: dict[str, dict] = {}
 
     def run(self, body: dict[str, Any]) -> str:
+        check_body(self.name, self.input_schema, body)
         codec_name = body.get("codec", LZ4_LIKE.name)
         try:
             codec = CODECS[codec_name]

@@ -6,7 +6,7 @@ executor with the paper's exponential polling backoff, and Gladier-style
 tool composition.
 """
 
-from .action import ActionProvider, ActionState, ActionStatus
+from .action import SCHEMA_TYPES, ActionProvider, ActionState, ActionStatus, check_body
 from .backoff import PAPER_BACKOFF, ConstantBackoff, ExponentialBackoff
 from .definition import FlowDefinition, FlowState, resolve_template
 from .gladier import GladierClient, GladierTool
@@ -29,6 +29,8 @@ __all__ = [
     "ActionProvider",
     "ActionState",
     "ActionStatus",
+    "SCHEMA_TYPES",
+    "check_body",
     "ExponentialBackoff",
     "ConstantBackoff",
     "PAPER_BACKOFF",

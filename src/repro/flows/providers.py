@@ -27,7 +27,7 @@ from ..errors import FlowError
 from ..search import SearchService
 from ..sim import Environment
 from ..transfer import TaskStatus, TransferService
-from .action import ActionState, ActionStatus
+from .action import ActionState, ActionStatus, check_body
 
 __all__ = [
     "TransferActionProvider",
@@ -40,12 +40,26 @@ class TransferActionProvider:
     """Flow step: move a file between transfer endpoints."""
 
     name = "transfer"
+    input_schema = {
+        "source_endpoint": "str",
+        "source_path": "str",
+        "dest_endpoint": "str",
+        "dest_path": "str",
+    }
+    output_schema = {
+        "task_id": "str",
+        "dest_endpoint": "str",
+        "dest_path": "str",
+        "bytes": "number",
+        "attempts": "int",
+    }
 
     def __init__(self, service: TransferService, token: Token) -> None:
         self.service = service
         self.token = token
 
     def run(self, body: dict[str, Any]) -> str:
+        check_body(self.name, self.input_schema, body)
         return self.service.submit(
             self.token,
             source_endpoint=body["source_endpoint"],
@@ -81,12 +95,25 @@ class ComputeActionProvider:
     """Flow step: run a registered function on a compute endpoint."""
 
     name = "compute"
+    input_schema = {
+        "endpoint": "str",
+        "function_id": "str",
+        "args?": "list",
+        "kwargs?": "dict",
+    }
+    output_schema = {
+        "task_id": "str",
+        "output": "dict",
+        "node_id": "str",
+        "cold_start": "bool",
+    }
 
     def __init__(self, service: ComputeService, token: Token) -> None:
         self.service = service
         self.token = token
 
     def run(self, body: dict[str, Any]) -> str:
+        check_body(self.name, self.input_schema, body)
         args = tuple(body.get("args", ()))
         kwargs = dict(body.get("kwargs", {}))
         return self.service.submit(
@@ -121,6 +148,13 @@ class SearchIngestActionProvider:
     """Flow step: publish a metadata record to a search index."""
 
     name = "search_ingest"
+    input_schema = {
+        "index": "str",
+        "subject": "str",
+        "content": "dict",
+        "visible_to?": "list",
+    }
+    output_schema = {"subject": "str"}
 
     def __init__(self, env: Environment, service: SearchService, token: Token) -> None:
         self.env = env
@@ -130,6 +164,7 @@ class SearchIngestActionProvider:
         self._actions: dict[str, dict] = {}
 
     def run(self, body: dict[str, Any]) -> str:
+        check_body(self.name, self.input_schema, body)
         action_id = f"ingest-{next(self._ids):06d}"
         record = {
             "status": "ACTIVE",

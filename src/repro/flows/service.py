@@ -110,6 +110,7 @@ class FlowsService:
             started_at=self.env.now,
             completed=self.env.event(),
         )
+        self.env.touch(self._runs, "w", label="flows.runs")
         self._runs[run.run_id] = run
         self.env.process(self._execute(definition, run))
         return run
@@ -164,6 +165,7 @@ class FlowsService:
                         f"state {state.name!r} failed: {status.error}"
                     )
                 step.result = status.result
+                self.env.touch(run, "w", label=f"flows.{run.run_id}.states")
                 context["states"][state.name] = status.result
 
             # Final transition: mark the run complete in the cloud.

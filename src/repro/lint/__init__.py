@@ -15,12 +15,19 @@ stdlib-``ast``-based analyzer with three rule packs,
 * **F3xx flow validation** — dangling transitions, unreachable states,
   forward ``$.states`` template references, unknown providers in
   literal :class:`~repro.flows.FlowDefinition` constructions;
+* **F4xx flow dataflow** — an interprocedural symbolic execution of
+  literal flow definitions that propagates each provider's declared
+  ``output_schema`` through the state chain: dangling ``$.`` payload
+  references, parameters outside a provider's ``input_schema``, type
+  conflicts where a payload key flows into a parameter of another type,
+  and providers missing schema declarations;
 
-plus ``# repro: noqa[RULE-ID]`` line suppressions, path-scoped
-allowances for the two files that legitimately touch the wall clock,
-and a CLI (``python -m repro lint``).  A tier-1 self-check test runs it
-over all of ``src/repro`` so any regression fails the ordinary pytest
-run.
+plus ``# repro: noqa[RULE-ID]`` line suppressions, whole-file
+``# repro: noqa-file[RULE-ID]`` suppressions, path-scoped allowances
+for the two files that legitimately touch the wall clock, and a CLI
+(``python -m repro lint``, with ``text``/``json``/``sarif`` output).  A
+tier-1 self-check test runs it over all of ``src/repro`` so any
+regression fails the ordinary pytest run.
 
 >>> from repro.lint import Analyzer
 >>> Analyzer().lint_source("import time\\nt = time.time()\\n")[0].rule_id
@@ -30,8 +37,14 @@ run.
 from __future__ import annotations
 
 from .analyzer import Analyzer, FileContext, Rule, all_rules, register
-from .config import DEFAULT_ALLOW, LintConfig, discover_provider_names
-from .diagnostics import Diagnostic, Severity
+from .config import (
+    DEFAULT_ALLOW,
+    LintConfig,
+    ProviderSchema,
+    discover_provider_names,
+    discover_provider_schemas,
+)
+from .diagnostics import Diagnostic, Severity, sarif_report
 from .resolver import ImportResolver
 
 __all__ = [
@@ -42,8 +55,11 @@ __all__ = [
     "all_rules",
     "LintConfig",
     "DEFAULT_ALLOW",
+    "ProviderSchema",
     "discover_provider_names",
+    "discover_provider_schemas",
     "Diagnostic",
     "Severity",
+    "sarif_report",
     "ImportResolver",
 ]

@@ -14,6 +14,12 @@ A finding is dropped when its line carries a marker comment::
     t0 = time.time()   # repro: noqa[D101]  calibration needs wall time
     t1 = time.time()   # repro: noqa        (blanket: any rule)
 
+when the file carries a file-level marker anywhere (typically at the
+top)::
+
+    # repro: noqa-file[D101,D102]  this module bridges to the wall clock
+    # repro: noqa-file             (blanket: any rule, use sparingly)
+
 and when the config's path-scoped allowances permit the rule for the
 file (see :mod:`repro.lint.config`).
 """
@@ -33,7 +39,9 @@ from .resolver import ImportResolver
 
 __all__ = ["Rule", "FileContext", "Analyzer", "register", "all_rules"]
 
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<ids>[\w\s,]+)\])?", re.IGNORECASE)
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<ids>[\w\s,]+)\])?", re.IGNORECASE
+)
 
 #: rule_id -> rule class, in registration order (report order is by
 #: location anyway; the dict keeps lookup and ``--select`` validation O(1)).
@@ -134,7 +142,7 @@ class FileContext:
         self.config = config
         self.resolver = ImportResolver(tree)
         self.diagnostics: list[Diagnostic] = []
-        self._noqa = _collect_noqa(source)
+        self._noqa, self._noqa_file = _collect_noqa(source)
         self._parents: dict[int, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
@@ -180,6 +188,10 @@ class FileContext:
         line = getattr(node, "lineno", 1)
         if self.config.allowed_for_path(self.path, rule.rule_id):
             return
+        if self._noqa_file is not None and (
+            not self._noqa_file or rule.rule_id in self._noqa_file
+        ):
+            return
         suppressed = self._noqa.get(line)
         if suppressed is not None and (not suppressed or rule.rule_id in suppressed):
             return
@@ -195,9 +207,18 @@ class FileContext:
         )
 
 
-def _collect_noqa(source: str) -> dict[int, frozenset[str]]:
-    """Map line number -> suppressed rule ids (empty set = all rules)."""
+def _collect_noqa(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], Optional[frozenset[str]]]:
+    """Line suppressions and the file-level suppression.
+
+    Returns ``(line -> suppressed rule ids, file-level rule ids)``; an
+    empty id set means "all rules", a ``None`` file-level entry means no
+    ``noqa-file`` marker was present.  Multiple ``noqa-file`` markers
+    union their ids (any blanket marker wins).
+    """
     out: dict[int, frozenset[str]] = {}
+    file_level: Optional[frozenset[str]] = None
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
@@ -207,14 +228,23 @@ def _collect_noqa(source: str) -> dict[int, frozenset[str]]:
             if not m:
                 continue
             ids = m.group("ids")
-            out[tok.start[0]] = (
+            id_set = (
                 frozenset(x.strip().upper() for x in ids.split(",") if x.strip())
                 if ids
                 else frozenset()
             )
+            if m.group("file"):
+                if file_level is None:
+                    file_level = id_set
+                elif not file_level or not id_set:
+                    file_level = frozenset()  # any blanket marker wins
+                else:
+                    file_level |= id_set
+            else:
+                out[tok.start[0]] = id_set
     except tokenize.TokenError:
         pass  # a syntactically broken file already failed ast.parse
-    return out
+    return out, file_level
 
 
 class Analyzer:

@@ -6,6 +6,7 @@ Examples
 
     python -m repro lint src/repro                 # text report, exit 1 on errors
     python -m repro lint src/repro --format json   # machine-readable findings
+    python -m repro lint --format sarif --output lint.sarif   # CI annotations
     python -m repro lint --fail-on warn            # strict: warnings also fail
     python -m repro lint --select D101,D102 path/  # run a subset of rules
     python -m repro lint --list-rules              # print the catalog
@@ -16,13 +17,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
-from typing import Optional
+from typing import Iterable, Optional
 
 from .analyzer import Analyzer, all_rules
 from .config import LintConfig
-from .diagnostics import Severity
+from .diagnostics import Diagnostic, Severity, sarif_report
 
-__all__ = ["add_lint_arguments", "run_lint", "main"]
+__all__ = ["add_lint_arguments", "render_report", "run_lint", "main"]
 
 
 def _default_target() -> str:
@@ -37,7 +38,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: the repro package)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="fmt"
+        "--format", choices=["text", "json", "sarif"], default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this path instead of stdout",
     )
     parser.add_argument(
         "--fail-on",
@@ -62,6 +68,30 @@ def _parse_ids(text: str) -> frozenset[str]:
     return frozenset(x.strip().upper() for x in text.split(",") if x.strip())
 
 
+def render_report(
+    diagnostics: Iterable[Diagnostic],
+    fmt: str,
+    n_paths: int = 1,
+    tool_name: str = "repro.lint",
+) -> str:
+    """Render a finding list in one of the CLI's formats (shared with
+    ``python -m repro sanitize``)."""
+    diags = sorted(diagnostics)
+    if fmt == "json":
+        return json.dumps([d.as_dict() for d in diags], indent=2)
+    if fmt == "sarif":
+        summaries = {rid: cls.summary for rid, cls in all_rules().items()}
+        return json.dumps(sarif_report(diags, summaries, tool_name=tool_name), indent=2)
+    lines = [d.format() for d in diags]
+    n_err = sum(1 for d in diags if d.severity >= Severity.ERROR)
+    n_warn = len(diags) - n_err
+    lines.append(
+        f"{len(diags)} finding(s): {n_err} error(s), "
+        f"{n_warn} warning(s) in {n_paths} path(s)"
+    )
+    return "\n".join(lines)
+
+
 def run_lint(args: argparse.Namespace) -> int:
     catalog = all_rules()
     if args.list_rules:
@@ -82,17 +112,14 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
     diagnostics = analyzer.lint_paths(paths)
 
-    if args.fmt == "json":
-        print(json.dumps([d.as_dict() for d in diagnostics], indent=2))
+    report = render_report(diagnostics, args.fmt, n_paths=len(paths))
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {len(diagnostics)} finding(s) to {output}")
     else:
-        for d in diagnostics:
-            print(d.format())
-        n_err = sum(1 for d in diagnostics if d.severity >= Severity.ERROR)
-        n_warn = len(diagnostics) - n_err
-        print(
-            f"{len(diagnostics)} finding(s): {n_err} error(s), "
-            f"{n_warn} warning(s) in {len(paths)} path(s)"
-        )
+        print(report)
 
     threshold = Severity.parse(args.fail_on)
     return 1 if any(d.severity >= threshold for d in diagnostics) else 0

@@ -6,11 +6,18 @@ registry.  Three packs, id-spaced by concern:
 * ``D1xx`` — determinism under a seed (:mod:`.determinism`)
 * ``S2xx`` — DES kernel safety (:mod:`.des_safety`)
 * ``F3xx`` — flow-definition validation (:mod:`.flowdef`)
+* ``F4xx`` — whole-flow payload dataflow (:mod:`.dataflow`)
 """
 
 from __future__ import annotations
 
-from . import des_safety, determinism, flowdef  # noqa: F401  (registration)
+from . import dataflow, des_safety, determinism, flowdef  # noqa: F401  (registration)
+from .dataflow import (
+    DanglingPayloadReference,
+    PayloadTypeConflict,
+    UndeclaredParameter,
+    UndeclaredProviderSchema,
+)
 from .des_safety import SwallowedSimError, UnreleasedRequest, YieldNonEvent
 from .determinism import (
     EnvVarRead,
@@ -43,4 +50,8 @@ __all__ = [
     "UnreachableState",
     "ForwardStateReference",
     "UnknownProvider",
+    "DanglingPayloadReference",
+    "UndeclaredParameter",
+    "PayloadTypeConflict",
+    "UndeclaredProviderSchema",
 ]

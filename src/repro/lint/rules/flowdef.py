@@ -25,6 +25,9 @@ __all__ = [
     "UnreachableState",
     "ForwardStateReference",
     "UnknownProvider",
+    "LiteralState",
+    "parse_literal_definition",
+    "chain_order",
 ]
 
 
@@ -50,7 +53,7 @@ def _const_str(node: Optional[ast.AST]) -> Optional[str]:
 
 
 @dataclass
-class _LiteralState:
+class LiteralState:
     """A FlowState(...) call whose name/next were literal strings."""
 
     node: ast.Call
@@ -58,14 +61,15 @@ class _LiteralState:
     next: Optional[str]
     has_literal_next: bool  # False when `next=` was present but dynamic
     parameters: Optional[ast.AST]
+    provider: Optional[str] = None  # None when absent or dynamic
 
 
-def _literal_states(states_node: Optional[ast.AST]) -> Optional[list[_LiteralState]]:
+def _literal_states(states_node: Optional[ast.AST]) -> Optional[list[LiteralState]]:
     """Parse a literal tuple/list of FlowState(...) calls; ``None`` when
     anything is dynamic (so callers skip the whole definition)."""
     if not isinstance(states_node, (ast.Tuple, ast.List)):
         return None
-    out: list[_LiteralState] = []
+    out: list[LiteralState] = []
     for elt in states_node.elts:
         if not (isinstance(elt, ast.Call) and _callee_name(elt) == "FlowState"):
             return None
@@ -82,21 +86,25 @@ def _literal_states(states_node: Optional[ast.AST]) -> Optional[list[_LiteralSta
         else:
             nxt = _const_str(next_node)
             literal_next = nxt is not None
+        provider_node = _kw(elt, "provider")
+        if provider_node is None and len(elt.args) >= 2:
+            provider_node = elt.args[1]
         out.append(
-            _LiteralState(
+            LiteralState(
                 node=elt,
                 name=name,
                 next=nxt,
                 has_literal_next=literal_next,
                 parameters=_kw(elt, "parameters"),
+                provider=_const_str(provider_node),
             )
         )
     return out
 
 
-def _parse_definition(
+def parse_literal_definition(
     call: ast.Call,
-) -> Optional[tuple[Optional[str], list[_LiteralState]]]:
+) -> Optional[tuple[Optional[str], list[LiteralState]]]:
     if _callee_name(call) != "FlowDefinition":
         return None
     states = _literal_states(_kw(call, "states"))
@@ -105,8 +113,8 @@ def _parse_definition(
     return _const_str(_kw(call, "start_at")), states
 
 
-def _chain_order(
-    start_at: Optional[str], states: list[_LiteralState]
+def chain_order(
+    start_at: Optional[str], states: list[LiteralState]
 ) -> list[str]:
     """State names in execution order from ``start_at`` (cycle-safe)."""
     by_name = {s.name: s for s in states}
@@ -130,7 +138,7 @@ class DanglingTransition(Rule):
     interests = (ast.Call,)
 
     def visit(self, ctx: FileContext, node: ast.Call) -> None:
-        parsed = _parse_definition(node)
+        parsed = parse_literal_definition(node)
         if parsed is None:
             return
         start_at, states = parsed
@@ -163,7 +171,7 @@ class UnreachableState(Rule):
     interests = (ast.Call,)
 
     def visit(self, ctx: FileContext, node: ast.Call) -> None:
-        parsed = _parse_definition(node)
+        parsed = parse_literal_definition(node)
         if parsed is None:
             return
         start_at, states = parsed
@@ -173,7 +181,7 @@ class UnreachableState(Rule):
         if any(s.has_literal_next and s.next is not None and s.next not in names
                for s in states):
             return  # dangling target: chain is broken, F301 reports it
-        reachable = set(_chain_order(start_at, states))
+        reachable = set(chain_order(start_at, states))
         for s in states:
             if s.name not in reachable:
                 ctx.report(
@@ -211,11 +219,11 @@ class ForwardStateReference(Rule):
     interests = (ast.Call,)
 
     def visit(self, ctx: FileContext, node: ast.Call) -> None:
-        parsed = _parse_definition(node)
+        parsed = parse_literal_definition(node)
         if parsed is None:
             return
         start_at, states = parsed
-        order = _chain_order(start_at, states)
+        order = chain_order(start_at, states)
         position = {name: i for i, name in enumerate(order)}
         names = {s.name for s in states}
         for s in states:

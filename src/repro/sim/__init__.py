@@ -20,10 +20,13 @@ from .core import (
 )
 from .realtime import RealtimeEnvironment
 from .resources import Request, Resource, Store
+from .sanitize import RaceReport, ScheduleSanitizer
 
 __all__ = [
     "Environment",
     "RealtimeEnvironment",
+    "ScheduleSanitizer",
+    "RaceReport",
     "Event",
     "Timeout",
     "Process",

@@ -353,13 +353,48 @@ class _StopRun(BaseException):
 
 
 class Environment:
-    """The event loop: a priority queue of (time, priority, seq, event)."""
+    """The event loop: a priority queue of (time, priority, seq, event).
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    Parameters
+    ----------
+    initial_time:
+        Starting simulation time (seconds).
+    sanitize:
+        Attach a :class:`~repro.sim.sanitize.ScheduleSanitizer` that
+        records same-``(time, priority)`` event cohorts and shared-state
+        touches, reporting orderings fixed only by insertion sequence
+        (see :meth:`touch` and ``sanitizer.races()``).
+    tiebreak:
+        How same-``(time, priority)`` events are ordered: ``"fifo"``
+        (insertion order, the documented default) or ``"lifo"`` (reverse
+        insertion order).  A model free of schedule races produces
+        identical traces under both — reversing the tie-break is how
+        ``python -m repro sanitize`` confirms suspected races.
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        *,
+        sanitize: bool = False,
+        tiebreak: str = "fifo",
+    ) -> None:
+        if tiebreak not in ("fifo", "lifo"):
+            raise SimulationError(
+                f"tiebreak must be 'fifo' or 'lifo', got {tiebreak!r}"
+            )
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.tiebreak = tiebreak
+        self._tiebreak_sign = 1 if tiebreak == "fifo" else -1
+        if sanitize:
+            from .sanitize import ScheduleSanitizer
+
+            self.sanitizer: Optional[ScheduleSanitizer] = ScheduleSanitizer(self)
+        else:
+            self.sanitizer = None
 
     # -- inspection -------------------------------------------------------
     @property
@@ -402,8 +437,24 @@ class Environment:
         """Schedule ``event`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, self._tiebreak_sign * self._seq, event),
+        )
         self._seq += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(event)
+
+    def touch(self, obj: Any, mode: str = "r", label: Optional[str] = None) -> None:
+        """Report a shared-state access to the schedule sanitizer.
+
+        ``mode`` is ``"r"``, ``"w"``, or ``"rw"``; ``label`` overrides
+        the deterministic auto-generated object name.  A no-op unless
+        the environment was built with ``sanitize=True``, so hot paths
+        may call it unconditionally.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.touch(obj, mode, label)
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -412,12 +463,19 @@ class Environment:
         re-raises the exception of any failed event nobody defused.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, priority, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("no more events") from None
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_event(self._now, priority, event)
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        try:
+            for callback in callbacks:
+                callback(event)
+        finally:
+            if sanitizer is not None:
+                sanitizer.end_event()
         if event._ok is False and not event._defused:
             exc = event._value
             raise exc

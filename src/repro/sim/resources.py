@@ -74,6 +74,7 @@ class Resource:
 
     # -- internal ---------------------------------------------------------
     def _on_request(self, req: Request) -> None:
+        self.env.touch(self, "w")
         if len(self.users) < self.capacity:
             self.users.append(req)
             req.succeed()
@@ -81,6 +82,7 @@ class Resource:
             self.queue.append(req)
 
     def _on_release(self, req: Request) -> None:
+        self.env.touch(self, "w")
         if req in self.users:
             self.users.remove(req)
             self._grant_next()
@@ -125,6 +127,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event that fires once ``item`` is accepted into the store."""
+        self.env.touch(self, "w")
         ev = Event(self.env)
         self._putters.append((ev, item))
         self._dispatch()
@@ -132,6 +135,7 @@ class Store:
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
         """Event that fires with the next (matching) item."""
+        self.env.touch(self, "w")
         ev = Event(self.env)
         self._getters.append((ev, filter))
         self._dispatch()

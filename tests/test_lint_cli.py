@@ -40,6 +40,33 @@ def test_json_format_is_machine_readable(dirty_tree, capsys):
     assert payload[0]["severity"] == "error"
 
 
+def test_sarif_format_has_rules_and_results(dirty_tree, capsys):
+    assert lint_main([str(dirty_tree), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    rules = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+    assert "D101" in rules
+    assert rules["D101"]["shortDescription"]["text"]  # summary from catalog
+    result = run["results"][0]
+    assert result["ruleId"] == "D101" and result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]
+    assert region["artifactLocation"]["uri"].endswith("dirty.py")
+    assert region["region"]["startLine"] == 2
+
+
+def test_output_writes_report_to_file(dirty_tree, tmp_path, capsys):
+    out_path = tmp_path / "report.sarif"
+    code = lint_main(
+        [str(dirty_tree), "--format", "sarif", "--output", str(out_path)]
+    )
+    assert code == 1  # writing a report does not mask the exit code
+    printed = capsys.readouterr().out
+    assert f"wrote 1 finding(s) to {out_path}" in printed
+    assert json.loads(out_path.read_text())["runs"][0]["results"]
+
+
 def test_select_restricts_rules(dirty_tree, capsys):
     assert lint_main([str(dirty_tree), "--select", "D103"]) == 0
     assert lint_main([str(dirty_tree), "--select", "D101"]) == 1

@@ -137,6 +137,49 @@ def test_noqa_multiple_ids():
     assert Analyzer(config=LintConfig(allow={})).lint_source(src) == []
 
 
+def test_noqa_file_blanket_suppresses_everything():
+    src = (
+        "# repro: noqa-file  demo script, determinism not required\n"
+        "import time, random\n"
+        "t = time.time()\n"
+        "x = random.random()\n"
+    )
+    assert Analyzer(config=LintConfig(allow={})).lint_source(src) == []
+
+
+def test_noqa_file_targeted_leaves_other_rules_firing():
+    src = (
+        "# repro: noqa-file[D101]  this module bridges to the wall clock\n"
+        "import time, random\n"
+        "t = time.time()\n"
+        "x = random.random()\n"
+    )
+    ds = Analyzer(config=LintConfig(allow={})).lint_source(src)
+    assert [d.rule_id for d in ds] == ["D103"]
+
+
+def test_noqa_file_markers_union_and_apply_anywhere_in_the_file():
+    src = (
+        "import time, random\n"
+        "# repro: noqa-file[D101]\n"
+        "t = time.time()\n"
+        "x = random.random()\n"
+        "# repro: noqa-file[D103]  (not just at the top)\n"
+    )
+    assert Analyzer(config=LintConfig(allow={})).lint_source(src) == []
+
+
+def test_noqa_file_with_ids_is_not_a_blanket_line_noqa():
+    # the -file marker must not be misparsed as a same-line suppression
+    src = (
+        "import time\n"
+        "t = time.time()  # repro: noqa-file[D103]\n"
+        "u = time.time()\n"
+    )
+    ds = Analyzer(config=LintConfig(allow={})).lint_source(src)
+    assert [(d.rule_id, d.line) for d in ds] == [("D101", 2), ("D101", 3)]
+
+
 # -- files & directories ------------------------------------------------------
 
 

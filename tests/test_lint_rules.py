@@ -309,7 +309,8 @@ def test_f303_clean_on_backward_reference():
         states=(
             FlowState(name="A", provider="transfer", next="B"),
             FlowState(name="B", provider="compute",
-                      parameters={"x": "$.states.A.task_id"}),
+                      parameters={"endpoint": "$.input.ep",
+                                  "function_id": "$.states.A.task_id"}),
         ),
     )
     """

@@ -1,0 +1,31 @@
+"""Tier-1 gate: the shipped campaign is schedule-race-free.
+
+The repo's own model must pass its own sanitizer: running the example
+campaign under ``Environment(sanitize=True)`` reports zero same-tick
+ordering hazards, and rerunning it with the tie-break reversed produces
+a byte-identical event trace.  Any regression that makes campaign
+behaviour depend on insertion order fails here before it ships.
+"""
+
+from __future__ import annotations
+
+from repro.core.sanitize import sanitize_campaign
+
+
+def test_shipped_campaign_is_schedule_clean():
+    result = sanitize_campaign("hyperspectral", duration_s=600.0, seed=1)
+    assert result.races_forward == []
+    assert result.races_reverse == []
+    assert result.trace_forward == result.trace_reverse
+    assert result.clean
+    assert result.diagnostics() == []
+    # The run itself did real work — this is not vacuous cleanliness.
+    assert len(result.forward.completed_runs) >= 3
+
+
+def test_sanitize_cli_exits_zero_on_the_shipped_campaign(capsys):
+    from repro.__main__ import main as repro_main
+
+    assert repro_main(["sanitize", "hyperspectral", "--duration", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "schedule-clean" in out
