@@ -1,0 +1,96 @@
+"""Observability overhead + span-derived Fig. 4 consistency.
+
+Two claims to defend:
+
+* the disabled path is free — running a campaign with tracing off costs
+  the same as before repro.obs existed (no-op tracer, no per-event
+  allocation), and the enabled path's cost is modest;
+* the span-derived Active/Overhead decomposition agrees with the
+  record-based one (the tier-1 gate checks exactness; here we report
+  the derived headline numbers next to the paper's).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import run_campaign
+from repro.core.stats import STEP_LABELS
+from repro.obs import derive_runs, fig4_samples_from_traces, run_summary_stats
+
+from conftest import PAPER_TABLE1, report
+
+DURATION = 1800.0
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_tracing_overhead(benchmark, output_dir):
+    # Warm-up (imports, code paths) outside the timed region.
+    run_campaign("hyperspectral", duration_s=300.0, seed=9)
+    run_campaign("hyperspectral", duration_s=300.0, seed=9, obs=True)
+
+    untraced = [
+        _time(lambda: run_campaign("hyperspectral", duration_s=DURATION, seed=1))[1]
+        for _ in range(3)
+    ]
+    traced_res, _ = _time(
+        lambda: run_campaign("hyperspectral", duration_s=DURATION, seed=1, obs=True)
+    )
+    traced = [
+        _time(
+            lambda: run_campaign(
+                "hyperspectral", duration_s=DURATION, seed=1, obs=True
+            )
+        )[1]
+        for _ in range(3)
+    ]
+
+    def traced_run():
+        return run_campaign("hyperspectral", duration_s=DURATION, seed=1, obs=True)
+
+    benchmark(traced_run)
+
+    base, full = min(untraced), min(traced)
+    n_spans = len(traced_res.testbed.obs.tracer.spans)
+    lines = [
+        f"untraced campaign: {base * 1e3:.1f} ms (best of 3)",
+        f"traced campaign:   {full * 1e3:.1f} ms (best of 3), {n_spans} spans",
+        f"tracing cost: {100 * (full - base) / base:+.1f}%",
+    ]
+    report("bench_obs_overhead", lines, output_dir)
+    # The disabled path must not have regressed; the enabled path's
+    # cost should stay well under one order of magnitude.
+    assert full < base * 3.0
+
+
+def test_span_derived_fig4_headline(benchmark, output_dir):
+    res = run_campaign("hyperspectral", seed=1, obs=True)
+
+    def derive():
+        runs = derive_runs(res.testbed.obs.tracer.spans)
+        return runs, fig4_samples_from_traces(runs, STEP_LABELS)
+
+    runs, samples = benchmark(derive)
+    stats = run_summary_stats(runs)
+    med = {k: float(np.median(v)) for k, v in samples.items() if v}
+    paper = PAPER_TABLE1["hyperspectral"]
+    lines = [
+        f"runs derived from spans: {int(stats['total_runs'])} "
+        f"(paper {paper['total_runs']})",
+        f"median overhead: {stats['median_overhead_s']:.1f}s / "
+        f"{stats['median_overhead_pct']:.1f}% "
+        f"(paper {paper['median_overhead_s']}s / {paper['median_overhead_pct']}%)",
+        f"median step actives: Transfer {med['Transfer']:.1f}s, "
+        f"Analysis {med['Analysis']:.1f}s, Publication {med['Publication']:.1f}s",
+    ]
+    report("bench_obs_fig4", lines, output_dir)
+    # Same shape as the paper: transfer dominates, overhead ~half.
+    assert med["Transfer"] > med["Analysis"] > med["Publication"]
+    assert 30.0 < stats["median_overhead_pct"] < 70.0

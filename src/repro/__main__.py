@@ -13,6 +13,10 @@ Commands
 ``sanitize``
     Run a campaign under the DES schedule-race sanitizer, rerun it with
     the same-tick tie-break reversed, and diff the event traces.
+``trace``
+    Run a traced campaign and export spans (Chrome ``trace_event`` JSON
+    and/or JSON-lines) plus a metrics CSV; prints the span-derived
+    Table 1 timing aggregates.
 """
 
 from __future__ import annotations
@@ -104,6 +108,54 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if any(d.severity >= threshold for d in diagnostics) else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from .core import run_campaign
+    from .obs import (
+        derive_runs,
+        metrics_to_csv,
+        run_summary_stats,
+        spans_to_chrome,
+        spans_to_jsonl,
+    )
+
+    res = run_campaign(
+        args.use_case, duration_s=args.duration, seed=args.seed, obs=True
+    )
+    obs = res.testbed.obs
+    os.makedirs(args.output, exist_ok=True)
+    written = []
+
+    def emit(name: str, text: str) -> None:
+        path = os.path.join(args.output, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        written.append(path)
+
+    if args.fmt in ("chrome", "both"):
+        emit("trace.json", spans_to_chrome(obs.tracer.spans))
+    if args.fmt in ("jsonl", "both"):
+        emit("trace.jsonl", spans_to_jsonl(obs.tracer.spans))
+    emit("metrics.csv", metrics_to_csv(obs.metrics))
+
+    runs = derive_runs(obs.tracer.spans)
+    stats = run_summary_stats(runs)
+    print(
+        f"{args.use_case}: {len(obs.tracer.spans)} spans, "
+        f"{int(stats['total_runs'])} completed run(s)"
+    )
+    print(
+        f"runtime min/mean/max: {stats['min_runtime_s']:.1f}/"
+        f"{stats['mean_runtime_s']:.1f}/{stats['max_runtime_s']:.1f} s; "
+        f"median overhead {stats['median_overhead_s']:.1f} s "
+        f"({stats['median_overhead_pct']:.1f}%)"
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -162,6 +214,23 @@ def main(argv: "list[str] | None" = None) -> int:
         "--output", default=None, help="write the report to this path"
     )
     p.set_defaults(fn=_cmd_sanitize)
+
+    p = sub.add_parser(
+        "trace", help="run a traced campaign and export spans + metrics"
+    )
+    p.add_argument(
+        "use_case",
+        nargs="?",
+        default="hyperspectral",
+        choices=["hyperspectral", "spatiotemporal", "spectral-movie"],
+    )
+    p.add_argument("--duration", type=float, default=1800.0, help="simulated seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--format", choices=["chrome", "jsonl", "both"], default="chrome", dest="fmt"
+    )
+    p.add_argument("--output", default="trace_out", help="output directory")
+    p.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from ..errors import ComputeError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment, Event, Store
 from .function import RegisteredFunction
@@ -71,6 +73,8 @@ class ComputeEndpoint:
         env_cache_sigma: float = 0.2,
         idle_timeout_s: float = 600.0,
         rngs: Optional[RngRegistry] = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         if env_cache_median_s < 0 or idle_timeout_s < 0:
             raise ComputeError("durations must be >= 0")
@@ -81,6 +85,12 @@ class ComputeEndpoint:
         self.env_cache_sigma = float(env_cache_sigma)
         self.idle_timeout_s = float(idle_timeout_s)
         self.rngs = rngs or RngRegistry(seed=0)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_tasks = m.counter(f"endpoint.{name}.tasks")
+        self._m_cold = m.counter(f"endpoint.{name}.cold_starts")
+        self._m_warm = m.gauge(f"endpoint.{name}.warm_nodes")
+        self._m_queue_wait = m.histogram(f"endpoint.{name}.queue_wait_s")
         self._available: Store = Store(env)  # parked warm + fresh nodes
         self._park_epoch: dict[str, int] = {}  # reaper invalidation tokens
         #: Observability.
@@ -102,6 +112,7 @@ class ComputeEndpoint:
         """Make ``node`` available again; reap it if idle past timeout."""
         epoch = self._bump_epoch(node)
         self._available.put(node)
+        self._m_warm.set(len(self._available))
         self.env.process(self._reap_after_idle(node, epoch))
 
     def _reap_after_idle(self, node: Node, epoch: int) -> Generator:
@@ -109,6 +120,7 @@ class ComputeEndpoint:
         still_parked = node in self._available.items
         if still_parked and self._park_epoch.get(node.node_id) == epoch:
             self._available.items.remove(node)
+            self._m_warm.set(len(self._available))
             self.scheduler.release(node)
 
     def _provisioner(self) -> Generator:
@@ -121,34 +133,55 @@ class ComputeEndpoint:
             return
         self._bump_epoch(node)
         yield self._available.put(node)
+        self._m_warm.set(len(self._available))
 
     # -- task execution ----------------------------------------------------------
-    def execute(self, func: RegisteredFunction, args: tuple, kwargs: dict) -> Event:
+    def execute(
+        self,
+        func: RegisteredFunction,
+        args: tuple,
+        kwargs: dict,
+        span: Any = NULL_SPAN,
+    ) -> Event:
         """Run a task; returns an event succeeding with a
         :class:`TaskOutcome` (the outcome's ``error`` is set rather than
-        failing the event, so pollers see FAILED status)."""
+        failing the event, so pollers see FAILED status).  ``span`` is
+        the caller's task span; endpoint phases trace as its children."""
         done = self.env.event()
-        self.env.process(self._run(func, args, kwargs, done))
+        self.env.process(self._run(func, args, kwargs, done, span))
         return done
 
     def _run(
-        self, func: RegisteredFunction, args: tuple, kwargs: dict, done: Event
+        self,
+        func: RegisteredFunction,
+        args: tuple,
+        kwargs: dict,
+        done: Event,
+        span: Any = NULL_SPAN,
     ) -> Generator:
         outcome = TaskOutcome(queued_at=self.env.now)
+        wait_span = self.tracer.start("compute.queue_wait", span)
         if len(self._available) == 0:
             # No warm node parked right now: ask the batch system for one.
             # If a warm node frees up first, we take it and the fresh node
             # is returned (see _provisioner).
             self.env.process(self._provisioner())
         node: Node = yield self._available.get()
+        self._m_warm.set(len(self._available))
         self._bump_epoch(node)  # invalidate any pending reaper
         outcome.node_id = node.node_id
         outcome.cold_start = node.tasks_run == 0
         if outcome.cold_start:
             self.cold_starts += 1
+            self._m_cold.inc()
         outcome.started_at = self.env.now
+        wait_span.set("node_id", node.node_id).set(
+            "cold_start", outcome.cold_start
+        ).finish()
+        self._m_queue_wait.observe(outcome.started_at - outcome.queued_at)
         try:
             if not node.env_cached:
+                warm_span = self.tracer.start("compute.env_cache", span)
                 warmup = lognormal_from_median(
                     self.rngs.stream("endpoint.envcache"),
                     self.env_cache_median_s,
@@ -158,6 +191,10 @@ class ComputeEndpoint:
                     yield self.env.timeout(warmup)
                 node.env_cached = True
                 outcome.env_cache_paid = True
+                warm_span.set("node_id", node.node_id).finish()
+            exec_span = self.tracer.start("compute.exec", span).set(
+                "function", func.name
+            )
             charge = func.charge(args, kwargs)
             if charge > 0:
                 yield self.env.timeout(charge)
@@ -165,8 +202,10 @@ class ComputeEndpoint:
                 outcome.result = func.fn(*args, **kwargs)
             except Exception as exc:  # the *user function* failed
                 outcome.error = f"{type(exc).__name__}: {exc}"
+            exec_span.set("ok", outcome.ok).finish()
             node.tasks_run += 1
             self.tasks_executed += 1
+            self._m_tasks.inc()
         finally:
             outcome.finished_at = self.env.now
             self._park(node)

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from ..errors import SchedulerError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment, Resource
 from ..sim.resources import Request
@@ -64,6 +66,8 @@ class BatchScheduler:
         boot_median_s: float = 30.0,
         boot_sigma: float = 0.2,
         rngs: Optional[RngRegistry] = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         if n_nodes < 1:
             raise SchedulerError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -80,6 +84,12 @@ class BatchScheduler:
         self.boot_median_s = float(boot_median_s)
         self.boot_sigma = float(boot_sigma)
         self.rngs = rngs or RngRegistry(seed=0)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_provisions = m.counter("scheduler.provisions")
+        self._m_releases = m.counter("scheduler.releases")
+        self._m_busy = m.gauge("scheduler.busy_nodes")
+        self._m_queue_wait = m.histogram("scheduler.queue_wait_s")
         self._ids = itertools.count(1)
         #: Observability counters.
         self.provision_count = 0
@@ -96,21 +106,32 @@ class BatchScheduler:
         Use as ``node = yield from scheduler.provision()``.
         """
         rng = self.rngs.stream("scheduler.delays")
+        span = self.tracer.start("scheduler.provision")
+        queue_span = self.tracer.start("scheduler.queue", span)
+        requested_at = self.env.now
         req = self.pool.request()
         yield req
         queue_delay = lognormal_from_median(rng, self.queue_median_s, self.queue_sigma)
         if queue_delay > 0:
             yield self.env.timeout(queue_delay)
+        queue_span.finish()
+        self._m_queue_wait.observe(self.env.now - requested_at)
+        boot_span = self.tracer.start("scheduler.boot", span)
         boot_delay = lognormal_from_median(rng, self.boot_median_s, self.boot_sigma)
         if boot_delay > 0:
             yield self.env.timeout(boot_delay)
+        boot_span.finish()
         self.env.touch(self, "w")
         self.provision_count += 1
-        return Node(
+        self._m_provisions.inc()
+        self._m_busy.set(self.pool.count)
+        node = Node(
             node_id=f"node-{next(self._ids):03d}",
             provisioned_at=self.env.now,
             request=req,
         )
+        span.set("node_id", node.node_id).finish()
+        return node
 
     def release(self, node: Node) -> None:
         """Return a node to the pool (idempotence guarded)."""
@@ -120,3 +141,5 @@ class BatchScheduler:
         self.env.touch(self, "w")
         node.request.release()
         self.release_count += 1
+        self._m_releases.inc()
+        self._m_busy.set(self.pool.count)

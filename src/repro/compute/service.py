@@ -16,6 +16,8 @@ from typing import Any, Callable, Generator, Optional
 from ..auth import ScopeAuthorizer, Token
 from ..auth.identity import COMPUTE_SCOPE, AuthClient
 from ..errors import ComputeError, EndpointError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment, Event
 from .endpoint import ComputeEndpoint, TaskOutcome
@@ -73,12 +75,20 @@ class ComputeService:
         rngs: Optional[RngRegistry] = None,
         api_latency_s: float = 0.2,
         latency_sigma: float = 0.3,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         self.env = env
         self.authorizer = ScopeAuthorizer(auth, COMPUTE_SCOPE)
         self.rngs = rngs or RngRegistry(seed=0)
         self.api_latency_s = float(api_latency_s)
         self.latency_sigma = float(latency_sigma)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_submitted = m.counter("compute.tasks_submitted")
+        self._m_succeeded = m.counter("compute.tasks_succeeded")
+        self._m_failed = m.counter("compute.tasks_failed")
+        self._m_duration = m.histogram("compute.task_duration_s")
         self.functions = FunctionRegistry()
         self._endpoints: dict[str, ComputeEndpoint] = {}
         self._tasks: dict[str, ComputeTask] = {}
@@ -128,7 +138,17 @@ class ComputeService:
         )
         self._tasks[task.task_id] = task
         self._task_events[task.task_id] = self.env.event()
-        self.env.process(self._drive(task, ep, func, args, kwargs))
+        # The task span opens at ``submitted_at`` and closes exactly at
+        # ``completed_at`` so its duration equals the active time the
+        # compute action provider reports for Fig. 4.
+        span = (
+            self.tracer.start("compute.task")
+            .set("action_id", task.task_id)
+            .set("endpoint", endpoint)
+            .set("function", function_id)
+        )
+        self._m_submitted.inc()
+        self.env.process(self._drive(task, ep, func, args, kwargs, span))
         return task.task_id
 
     def get_task(self, token: Token, task_id: str) -> dict:
@@ -160,6 +180,7 @@ class ComputeService:
         func,
         args: tuple,
         kwargs: dict,
+        span: Any = NULL_SPAN,
     ) -> Generator:
         # Cloud routing hop: service receives the task, ships it to the
         # endpoint's queue.
@@ -168,10 +189,18 @@ class ComputeService:
             lognormal_from_median(rng, self.api_latency_s, self.latency_sigma)
         )
         task.status = ComputeTaskStatus.RUNNING
-        outcome: TaskOutcome = yield ep.execute(func, args, kwargs)
+        outcome: TaskOutcome = yield ep.execute(func, args, kwargs, span=span)
         task.outcome = outcome
         task.completed_at = self.env.now
         task.status = (
             ComputeTaskStatus.SUCCESS if outcome.ok else ComputeTaskStatus.FAILED
         )
+        span.set("status", task.status.value).set(
+            "node_id", outcome.node_id
+        ).set("cold_start", outcome.cold_start).finish()
+        if outcome.ok:
+            self._m_succeeded.inc()
+        else:
+            self._m_failed.inc()
+        self._m_duration.observe(task.completed_at - task.submitted_at)
         self._task_events[task.task_id].succeed(task)

@@ -20,6 +20,7 @@ from ..instrument import (
     FileCopier,
     UseCaseSpec,
 )
+from ..obs import Observability
 from ..sim import Environment
 from ..testbed import DEFAULT_CALIBRATION, Calibration, Testbed, build_testbed
 from ..transfer import NO_FAULTS, FaultPlan
@@ -90,6 +91,7 @@ def run_campaign(
     compression: "object | None" = None,
     sanitize: bool = False,
     tiebreak: str = "fifo",
+    obs: bool = False,
 ) -> CampaignResult:
     """Run one use case for ``duration_s`` simulated seconds.
 
@@ -102,7 +104,9 @@ def run_campaign(
     ``sanitize``/``tiebreak`` configure the kernel's schedule-race
     sanitizer (see :mod:`repro.core.sanitize`): with ``sanitize=True``
     the returned result's ``testbed.env.sanitizer`` holds any detected
-    same-tick ordering hazards.
+    same-tick ordering hazards.  ``obs=True`` attaches an
+    :class:`~repro.obs.Observability` bundle (span tracer + metrics
+    registry) to the testbed; find it at ``result.testbed.obs``.
     """
     from .extensions import (
         CompressionSpec,
@@ -116,7 +120,11 @@ def run_campaign(
         use_case = use_case_by_name(use_case)
     env = Environment(sanitize=sanitize, tiebreak=tiebreak)
     tb = build_testbed(
-        env=env, seed=seed, calibration=calibration, fault_plan=fault_plan
+        env=env,
+        seed=seed,
+        calibration=calibration,
+        fault_plan=fault_plan,
+        obs=Observability(env) if obs else None,
     )
 
     if use_case.signal_type == "hyperspectral":

@@ -15,7 +15,7 @@ from .providers import (
     SearchIngestActionProvider,
     TransferActionProvider,
 )
-from .run import FlowRun, RunStatus, StepRecord
+from .run import FlowRun, FlowRunSnapshot, RunStatus, StepRecord
 from .service import FlowsService
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "resolve_template",
     "FlowsService",
     "FlowRun",
+    "FlowRunSnapshot",
     "RunStatus",
     "StepRecord",
     "ActionProvider",

@@ -24,6 +24,7 @@ from typing import Any
 from ..auth import Token
 from ..compute import ComputeService, ComputeTaskStatus
 from ..errors import FlowError
+from ..obs.tracer import NULL_TRACER
 from ..search import SearchService
 from ..sim import Environment
 from ..transfer import TaskStatus, TransferService
@@ -156,10 +157,17 @@ class SearchIngestActionProvider:
     }
     output_schema = {"subject": "str"}
 
-    def __init__(self, env: Environment, service: SearchService, token: Token) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        service: SearchService,
+        token: Token,
+        tracer: Any = None,
+    ) -> None:
         self.env = env
         self.service = service
         self.token = token
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._ids = itertools.count(1)
         self._actions: dict[str, dict] = {}
 
@@ -173,11 +181,20 @@ class SearchIngestActionProvider:
             "error": None,
             "subject": body.get("subject"),
         }
+        # Span window matches the active interval this provider reports
+        # (started_at → completed_at) so Fig. 4 derives exactly from it.
+        span = (
+            self.tracer.start("search.ingest")
+            .set("action_id", action_id)
+            .set("subject", str(body.get("subject")))
+        )
         self._actions[action_id] = record
-        self.env.process(self._drive(record, body))
+        self.env.process(self._drive(record, body, span))
         return action_id
 
-    def _drive(self, record: dict, body: dict[str, Any]):
+    def _drive(self, record: dict, body: dict[str, Any], span: Any = None):
+        if span is None:
+            span = NULL_TRACER.start("search.ingest")
         try:
             yield from self.service.ingest(
                 self.token,
@@ -192,6 +209,7 @@ class SearchIngestActionProvider:
         else:
             record["status"] = "SUCCEEDED"
         record["completed_at"] = self.env.now
+        span.set("status", record["status"]).finish()
 
     def status(self, action_id: str) -> ActionStatus:
         try:

@@ -21,6 +21,8 @@ from typing import Any, Generator, Optional
 from ..auth import ScopeAuthorizer, Token
 from ..auth.identity import FLOWS_SCOPE, AuthClient
 from ..errors import FlowError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment
 from .action import ActionProvider, ActionState
@@ -58,6 +60,8 @@ class FlowsService:
         transition_sigma: float = 0.35,
         poll_latency_s: float = 0.15,
         backoff: "ExponentialBackoff | Any" = PAPER_BACKOFF,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         self.env = env
         self.authorizer = ScopeAuthorizer(auth, FLOWS_SCOPE)
@@ -66,6 +70,15 @@ class FlowsService:
         self.transition_sigma = float(transition_sigma)
         self.poll_latency_s = float(poll_latency_s)
         self.backoff = backoff
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_started = m.counter("flows.runs_started")
+        self._m_succeeded = m.counter("flows.runs_succeeded")
+        self._m_failed = m.counter("flows.runs_failed")
+        self._m_polls = m.counter("flows.polls")
+        self._m_transitions = m.counter("flows.transitions")
+        self._m_runtime = m.histogram("flows.runtime_s")
+        self._m_active_runs = m.gauge("flows.active_runs")
         self._providers: dict[str, ActionProvider] = {}
         self._definitions: dict[str, FlowDefinition] = {}
         self._runs: dict[str, FlowRun] = {}
@@ -112,7 +125,14 @@ class FlowsService:
         )
         self.env.touch(self._runs, "w", label="flows.runs")
         self._runs[run.run_id] = run
-        self.env.process(self._execute(definition, run))
+        run_span = (
+            self.tracer.start("flow.run")
+            .set("run_id", run.run_id)
+            .set("flow", definition.title)
+        )
+        self._m_started.inc()
+        self._m_active_runs.add(1)
+        self.env.process(self._execute(definition, run, run_span))
         return run
 
     def get_run(self, run_id: str) -> FlowRun:
@@ -134,47 +154,89 @@ class FlowsService:
         if delay > 0:
             yield self.env.timeout(delay)
 
-    def _execute(self, definition: FlowDefinition, run: FlowRun) -> Generator:
+    def _execute(
+        self, definition: FlowDefinition, run: FlowRun, run_span: Any = NULL_SPAN
+    ) -> Generator:
         context: dict[str, Any] = {"input": run.input, "states": {}}
+        step_span = NULL_SPAN
         try:
             for state in definition.ordered_states():
                 step = StepRecord(
                     name=state.name, provider=state.provider, entered_at=self.env.now
                 )
                 run.steps.append(step)
+                step_span = (
+                    self.tracer.start("flow.step", run_span)
+                    .set("state", state.name)
+                    .set("provider", state.provider)
+                )
                 # Cloud transition: enter state, resolve, submit.
+                t_span = self.tracer.start("flow.transition", step_span)
                 yield from self._transition()
+                t_span.finish()
+                self._m_transitions.inc()
                 provider = self.provider(state.provider)
                 body = state.resolve(context)
                 step.action_id = provider.run(body)
                 step.submitted_at = self.env.now
+                step_span.set("action_id", step.action_id)
 
                 status = None
                 for interval in self.backoff.intervals():
+                    poll_span = self.tracer.start("flow.poll", step_span)
                     yield self.env.timeout(interval + self.poll_latency_s)
                     step.polls += 1
+                    self._m_polls.inc()
                     status = provider.status(step.action_id)
+                    poll_span.set("state", status.state.value).finish()
                     if status.state.terminal:
                         break
                 assert status is not None
                 step.detected_at = self.env.now
                 step.active_seconds = status.active_seconds
+                step_span.set("polls", step.polls)
+                step_span.set("active_s", status.active_seconds)
                 if status.state is ActionState.FAILED:
                     step.error = status.error
+                    step_span.set("status", "FAILED").finish()
                     raise FlowError(
                         f"state {state.name!r} failed: {status.error}"
                     )
                 step.result = status.result
+                step_span.set("status", "SUCCEEDED").finish()
+                step_span = NULL_SPAN
                 self.env.touch(run, "w", label=f"flows.{run.run_id}.states")
                 context["states"][state.name] = status.result
 
             # Final transition: mark the run complete in the cloud.
+            t_span = self.tracer.start("flow.transition", run_span)
             yield from self._transition()
+            t_span.finish()
+            self._m_transitions.inc()
             run.status = RunStatus.SUCCEEDED
         except FlowError as exc:
             run.status = RunStatus.FAILED
             run.error = str(exc)
+        except Exception as exc:
+            # A non-FlowError escaping a provider or template resolution
+            # used to leave the run terminally ACTIVE while `completed`
+            # fired — waiters observed a "completed" run in a
+            # non-terminal state.  Record the failure, then re-raise so
+            # the kernel still surfaces the programming error loudly.
+            run.status = RunStatus.FAILED
+            run.error = f"{type(exc).__name__}: {exc}"
+            raise
         finally:
+            # Close any step span left open by an abnormal exit.
+            if not step_span.ended:
+                step_span.set("status", run.status.value).finish()
             run.finished_at = self.env.now
+            run_span.set("status", run.status.value).finish()
+            self._m_active_runs.add(-1)
+            if run.status is RunStatus.SUCCEEDED:
+                self._m_succeeded.inc()
+            else:
+                self._m_failed.inc()
+            self._m_runtime.observe(run.finished_at - run.started_at)
             if run.completed is not None:
                 run.completed.succeed(run)

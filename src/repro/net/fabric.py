@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..errors import EndpointError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..sim import Environment, Event, Interrupt, Process
 from .topology import Link, Topology
 
@@ -38,10 +40,12 @@ class Stream:
     links: tuple[Link, ...]
     remaining_bytes: float
     done: Event
+    total_bytes: float = 0.0
     rate: float = 0.0
     efficiency: float = 1.0  # protocol efficiency (<=1) applied to its share
     last_update: float = 0.0
     started_at: float = 0.0
+    span: Any = NULL_SPAN  # tracing handle (NULL_SPAN when tracing is off)
 
     @property
     def eta(self) -> float:
@@ -95,9 +99,20 @@ def max_min_fair_rates(
 class NetworkFabric:
     """Shared-bandwidth transfer engine over a :class:`Topology`."""
 
-    def __init__(self, env: Environment, topology: Topology) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        tracer: Any = None,
+        metrics: Any = None,
+    ) -> None:
         self.env = env
         self.topology = topology
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_streams = m.counter("net.streams_started")
+        self._m_bytes = m.counter("net.bytes_delivered")
+        self._m_active = m.gauge("net.active_streams")
         self._streams: dict[int, Stream] = {}
         self._ids = itertools.count(1)
         self._wake: Optional[Event] = None
@@ -130,10 +145,19 @@ class NetworkFabric:
             links=links,
             remaining_bytes=float(nbytes),
             done=done,
+            total_bytes=float(nbytes),
             efficiency=float(efficiency),
             last_update=self.env.now,
             started_at=self.env.now,
         )
+        stream.span = (
+            self.tracer.start("net.stream")
+            .set("stream_id", stream.stream_id)
+            .set("src", src)
+            .set("dst", dst)
+            .set("bytes", float(nbytes))
+        )
+        self._m_streams.inc()
         latency = sum(l.latency_s for l in links)
         self.env.process(self._admit_after(stream, latency))
         return done
@@ -153,10 +177,12 @@ class NetworkFabric:
         if latency > 0:
             yield self.env.timeout(latency)
         if stream.remaining_bytes <= _EPS_BYTES:
+            stream.span.set("status", "done").finish()
             stream.done.succeed(stream)
             return
         stream.last_update = self.env.now
         self._streams[stream.stream_id] = stream
+        self._m_active.set(len(self._streams))
         self._reallocate()
         self._kick()
 
@@ -214,10 +240,17 @@ class NetworkFabric:
                 ]
                 for s in finished:
                     del self._streams[s.stream_id]
+                self._m_active.set(len(self._streams))
                 for s in finished:
+                    self._m_bytes.inc(s.total_bytes)
+                    s.span.set("status", "done").finish()
                     s.done.succeed(s)
                 if self._streams:
                     self._reallocate()
             else:
-                # New stream admitted mid-flight: rates already updated.
-                pass
+                # New stream admitted mid-flight: rates are already
+                # updated, but the per-iteration timer is now stale —
+                # withdraw it so repeated admissions cannot bloat the
+                # event queue with one abandoned Timeout each.
+                if not timer.processed:
+                    self.env.cancel(timer)

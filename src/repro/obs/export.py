@@ -1,0 +1,142 @@
+"""Trace and metrics exporters.
+
+Three formats, all deterministic under a seed (timestamps are sim-time,
+ids are counters, iteration orders are explicit):
+
+* JSON-lines — one span object per line, in span-id order; the
+  greppable archival format.
+* Chrome ``trace_event`` — a ``chrome://tracing`` /
+  `Perfetto <https://ui.perfetto.dev>`_ -loadable JSON document; each
+  flow run and each substrate service gets its own track.
+* Metrics CSV — every instrument flattened to rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracer import Span
+
+__all__ = [
+    "spans_to_jsonl",
+    "spans_to_chrome",
+    "metrics_to_csv",
+]
+
+
+def spans_to_jsonl(spans: Sequence[Span]) -> str:
+    """One JSON object per span (unfinished spans have ``end: null``)."""
+    lines = []
+    for s in spans:
+        lines.append(
+            json.dumps(
+                {
+                    "id": s.span_id,
+                    "parent": s.parent_id,
+                    "name": s.name,
+                    "start": s.start,
+                    "end": s.end,
+                    "attrs": s.attrs,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _track_key(span: Span, by_id: dict[int, Span]) -> str:
+    """The display track a span belongs to: its root lineage."""
+    root = span
+    while root.parent_id is not None:
+        parent = by_id.get(root.parent_id)
+        if parent is None:
+            break
+        root = parent
+    if root.name == "flow.run":
+        return f"run {root.attrs.get('run_id', root.span_id)}"
+    # Service-side lineage: group by the service prefix.
+    prefix, _, _ = root.name.partition(".")
+    return prefix
+
+
+def spans_to_chrome(spans: Sequence[Span]) -> str:
+    """A Chrome ``trace_event`` JSON document (complete "X" events).
+
+    Timestamps are microseconds of *simulated* time; only finished
+    spans are emitted (an unfinished span has no duration to draw).
+    """
+    by_id = {s.span_id: s for s in spans}
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for s in spans:
+        if not s.ended:
+            continue
+        track = _track_key(s, by_id)
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[track] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        args = dict(s.attrs)
+        args["span_id"] = s.span_id
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": s.start * 1e6,
+                "dur": (s.end - s.start) * 1e6,
+                "name": s.name,
+                "cat": s.name.partition(".")[0],
+                "args": args,
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(doc, sort_keys=True)
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Flatten every instrument to CSV rows.
+
+    Columns: ``kind,name,time,value,count,sum,min,max``.  Counters emit
+    one row (``value``); gauges one row per sample (``time,value``);
+    histograms one row per sim-time bucket (``time`` is the bucket
+    start, with ``count/sum/min/max``).
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["kind", "name", "time", "value", "count", "sum", "min", "max"])
+    for inst in registry.instruments():
+        if inst.kind == "counter":
+            writer.writerow(["counter", inst.name, "", repr(inst.value), "", "", "", ""])
+        elif inst.kind == "gauge":
+            for t, v in inst.samples:
+                writer.writerow(["gauge", inst.name, repr(t), repr(v), "", "", "", ""])
+        elif inst.kind == "histogram":
+            for idx in sorted(inst.buckets):
+                count, total, vmin, vmax = inst.buckets[idx]
+                writer.writerow(
+                    [
+                        "histogram",
+                        inst.name,
+                        repr(idx * inst.bucket_s),
+                        "",
+                        int(count),
+                        repr(total),
+                        repr(vmin),
+                        repr(vmax),
+                    ]
+                )
+    return buf.getvalue()

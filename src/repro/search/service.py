@@ -13,6 +13,7 @@ from typing import Any, Iterable, Optional
 
 from ..auth import ScopeAuthorizer, Token
 from ..auth.identity import SEARCH_INGEST_SCOPE, SEARCH_QUERY_SCOPE, AuthClient
+from ..obs.metrics import NULL_METRICS
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment
 from .index import FieldFilter, SearchIndex, SearchResults
@@ -31,6 +32,7 @@ class SearchService:
         ingest_latency_s: float = 0.8,
         query_latency_s: float = 0.15,
         latency_sigma: float = 0.3,
+        metrics: Any = None,
     ) -> None:
         self.env = env
         self._ingest_auth = ScopeAuthorizer(auth, SEARCH_INGEST_SCOPE)
@@ -39,6 +41,9 @@ class SearchService:
         self.ingest_latency_s = float(ingest_latency_s)
         self.query_latency_s = float(query_latency_s)
         self.latency_sigma = float(latency_sigma)
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_ingests = m.counter("search.ingests")
+        self._m_queries = m.counter("search.queries")
         self._indices: dict[str, SearchIndex] = {}
 
     def create_index(self, name: str, validate: bool = True) -> SearchIndex:
@@ -76,6 +81,7 @@ class SearchService:
         self._ingest_auth.authorize(token, self.env.now)
         idx = self.index(index)
         yield self._charge(self.ingest_latency_s)
+        self._m_ingests.inc()
         return idx.ingest(subject, content, visible_to, now=self.env.now)
 
     def query(
@@ -95,6 +101,7 @@ class SearchService:
         identity = self._query_auth.authorize(token, self.env.now)
         idx = self.index(index)
         yield self._charge(self.query_latency_s)
+        self._m_queries.inc()
         return idx.query(
             q=q,
             filters=filters,

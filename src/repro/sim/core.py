@@ -83,7 +83,7 @@ class Event:
     → *processed* (callbacks ran).  Callbacks receive the event itself.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -91,6 +91,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+        self._cancelled = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -386,6 +387,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        self._cancelled_count = 0
         self._active_process: Optional[Process] = None
         self.tiebreak = tiebreak
         self._tiebreak_sign = 1 if tiebreak == "fifo" else -1
@@ -409,7 +411,11 @@ class Environment:
 
     def peek(self) -> float:
         """Timestamp of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._cancelled_count -= 1
+        return queue[0][0] if queue else float("inf")
 
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
@@ -445,6 +451,32 @@ class Environment:
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(event)
 
+    def cancel(self, event: Event) -> None:
+        """Withdraw a scheduled-but-unprocessed event from the queue.
+
+        The event's callbacks never run and its failure (if any) is
+        never raised.  Lazy removal with periodic compaction keeps the
+        heap bounded by the number of *live* entries, so components that
+        routinely abandon timers (e.g. the network fabric re-planning
+        around a new stream) do not leak one heap slot per abandonment.
+
+        Only triggered events sit in the queue; cancelling an untriggered
+        or already-processed event is an error.
+        """
+        if event.processed:
+            raise SimulationError(f"cannot cancel processed event {event!r}")
+        if not event.triggered:
+            raise SimulationError(f"cannot cancel unscheduled event {event!r}")
+        if event._cancelled:
+            return
+        event._cancelled = True
+        self._cancelled_count += 1
+        # Compact once tombstones dominate: O(live) amortized.
+        if self._cancelled_count > 8 and self._cancelled_count * 2 > len(self._queue):
+            self._queue = [e for e in self._queue if not e[3]._cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_count = 0
+
     def touch(self, obj: Any, mode: str = "r", label: Optional[str] = None) -> None:
         """Report a shared-state access to the schedule sanitizer.
 
@@ -462,10 +494,16 @@ class Environment:
         Raises :class:`SimulationError` if the queue is empty, and
         re-raises the exception of any failed event nobody defused.
         """
-        try:
-            self._now, priority, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise SimulationError("no more events") from None
+        while True:
+            try:
+                now, priority, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise SimulationError("no more events") from None
+            if event._cancelled:
+                self._cancelled_count -= 1
+                continue
+            break
+        self._now = now
         sanitizer = self.sanitizer
         if sanitizer is not None:
             sanitizer.begin_event(self._now, priority, event)
@@ -505,7 +543,7 @@ class Environment:
                 self.schedule(stop, delay=at - self._now, priority=URGENT)
                 stop.callbacks.append(self._stop_callback)
         try:
-            while self._queue:
+            while len(self._queue) > self._cancelled_count:
                 self.step()
         except _StopRun as stop_exc:
             return stop_exc.args[0]

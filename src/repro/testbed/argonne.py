@@ -17,7 +17,7 @@ it; campaigns, examples, and benches build on this one constructor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..auth import AccessPolicy, AuthClient, Identity, Token
 from ..auth.identity import (
@@ -38,6 +38,7 @@ from ..flows import (
 )
 from ..instrument import PicoProbe
 from ..net import NetworkFabric, Topology
+from ..obs import NULL_OBS, Observability
 from ..rng import RngRegistry
 from ..search import SearchIndex, SearchService
 from ..sim import Environment
@@ -76,6 +77,7 @@ class Testbed:
     flows: FlowsService
     gladier: GladierClient
     instrument: PicoProbe
+    obs: Any = NULL_OBS  # Observability bundle (NULL_OBS when disabled)
 
 
 def build_testbed(
@@ -84,9 +86,18 @@ def build_testbed(
     calibration: Calibration = DEFAULT_CALIBRATION,
     fault_plan: FaultPlan = NO_FAULTS,
     operator_name: str = "operator",
+    obs: Any = None,
 ) -> Testbed:
-    """Construct the full testbed on ``env`` (a fresh one by default)."""
+    """Construct the full testbed on ``env`` (a fresh one by default).
+
+    Pass an :class:`~repro.obs.Observability` bundle as ``obs`` to
+    thread one tracer + metrics registry through every service; by
+    default tracing is off and every instrumentation point is a no-op.
+    """
     env = env or Environment()
+    if obs is None:
+        obs = NULL_OBS
+    tracer, metrics = obs.tracer, obs.metrics
     rngs = RngRegistry(seed=seed)
     cal = calibration
 
@@ -110,7 +121,7 @@ def build_testbed(
     topo.add_link(
         "anl-backbone", "polaris-mom", cal.alcf_lan_bps, latency_s=cal.wan_latency_s / 4
     )
-    fabric = NetworkFabric(env, topo)
+    fabric = NetworkFabric(env, topo, tracer=tracer, metrics=metrics)
 
     # -- identities ----------------------------------------------------------
     auth = AuthClient()
@@ -141,6 +152,8 @@ def build_testbed(
         throughput_sigma=cal.transfer_throughput_sigma,
         checksum_bytes_per_s=cal.checksum_bytes_per_s,
         fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=metrics,
     )
     transfer.register_endpoint(
         TransferEndpoint(
@@ -173,6 +186,8 @@ def build_testbed(
         boot_median_s=cal.node_boot_median_s,
         boot_sigma=cal.node_boot_sigma,
         rngs=rngs,
+        tracer=tracer,
+        metrics=metrics,
     )
     polaris = ComputeEndpoint(
         env,
@@ -182,6 +197,8 @@ def build_testbed(
         env_cache_sigma=cal.env_cache_sigma,
         idle_timeout_s=cal.node_idle_timeout_s,
         rngs=rngs,
+        tracer=tracer,
+        metrics=metrics,
     )
     compute = ComputeService(
         env,
@@ -189,6 +206,8 @@ def build_testbed(
         rngs,
         api_latency_s=cal.compute_api_latency_s,
         latency_sigma=cal.compute_latency_sigma,
+        tracer=tracer,
+        metrics=metrics,
     )
     compute.register_endpoint(polaris)
 
@@ -199,6 +218,7 @@ def build_testbed(
         rngs,
         ingest_latency_s=cal.search_ingest_latency_s,
         latency_sigma=cal.search_latency_sigma,
+        metrics=metrics,
     )
     portal_index = search.create_index(PORTAL_INDEX)
 
@@ -215,10 +235,14 @@ def build_testbed(
             factor=cal.backoff_factor,
             max_interval=cal.backoff_max_s,
         ),
+        tracer=tracer,
+        metrics=metrics,
     )
     flows.register_provider(TransferActionProvider(transfer, token))
     flows.register_provider(ComputeActionProvider(compute, token))
-    flows.register_provider(SearchIngestActionProvider(env, search, token))
+    flows.register_provider(
+        SearchIngestActionProvider(env, search, token, tracer=tracer)
+    )
     gladier = GladierClient(flows, token)
 
     instrument = PicoProbe(rngs, operator=operator_name)
@@ -243,4 +267,5 @@ def build_testbed(
         flows=flows,
         gladier=gladier,
         instrument=instrument,
+        obs=obs,
     )

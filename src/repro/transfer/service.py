@@ -18,7 +18,7 @@ efficiency, and a checksum-verification time proportional to file size.
 from __future__ import annotations
 
 import itertools
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 import numpy as np
 
@@ -26,6 +26,8 @@ from ..auth import ScopeAuthorizer, Token
 from ..auth.identity import TRANSFER_SCOPE, AuthClient
 from ..errors import EndpointError, TransferError
 from ..net import NetworkFabric
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment, Event
 from .endpoint import TransferEndpoint
@@ -65,6 +67,8 @@ class TransferService:
         throughput_sigma: float = 0.0,
         checksum_bytes_per_s: float = 400e6,
         fault_plan: FaultPlan = NO_FAULTS,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         self.env = env
         self.fabric = fabric
@@ -75,6 +79,14 @@ class TransferService:
         self.throughput_sigma = float(throughput_sigma)
         self.checksum_bytes_per_s = float(checksum_bytes_per_s)
         self.fault_plan = fault_plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_submitted = m.counter("transfer.tasks_submitted")
+        self._m_succeeded = m.counter("transfer.tasks_succeeded")
+        self._m_failed = m.counter("transfer.tasks_failed")
+        self._m_retries = m.counter("transfer.retries")
+        self._m_bytes = m.counter("transfer.bytes_moved")
+        self._m_duration = m.histogram("transfer.task_duration_s")
         self._endpoints: dict[str, TransferEndpoint] = {}
         self._tasks: dict[str, TransferTask] = {}
         self._task_events: dict[str, Event] = {}
@@ -126,7 +138,18 @@ class TransferService:
         )
         self._tasks[task.task_id] = task
         self._task_events[task.task_id] = self.env.event()
-        self.env.process(self._execute(task, src, dst))
+        # The task span opens at ``requested_at`` and closes exactly at
+        # ``completed_at`` so its duration equals ``task.duration`` — the
+        # provider-reported active time the Fig. 4 gate checks against.
+        span = (
+            self.tracer.start("transfer.task")
+            .set("action_id", task.task_id)
+            .set("src", source_endpoint)
+            .set("dst", dest_endpoint)
+            .set("bytes", float(source_file.size_bytes))
+        )
+        self._m_submitted.inc()
+        self.env.process(self._execute(task, src, dst, span))
         return task.task_id
 
     def get_task(self, token: Token, task_id: str) -> dict:
@@ -160,7 +183,15 @@ class TransferService:
         rng = self.rngs.stream("transfer.latency")
         return lognormal_from_median(rng, median, self.latency_sigma)
 
-    def _execute(self, task: TransferTask, src: TransferEndpoint, dst: TransferEndpoint) -> Generator:
+    def _execute(
+        self,
+        task: TransferTask,
+        src: TransferEndpoint,
+        dst: TransferEndpoint,
+        span: Any = None,
+    ) -> Generator:
+        if span is None:
+            span = NULL_TRACER.start("transfer.task")
         rng = self.rngs.stream("transfer.faults")
         # Submission processing in the cloud service.
         yield self.env.timeout(self._jitter(self.api_latency_s))
@@ -170,6 +201,9 @@ class TransferService:
 
         while True:
             task.attempts += 1
+            attempt_span = self.tracer.start("transfer.attempt", span).set(
+                "attempt", task.attempts
+            )
             # Endpoint handshakes (control channel setup on both sides).
             startup = src.startup_latency_s + dst.startup_latency_s
             if startup > 0:
@@ -195,6 +229,7 @@ class TransferService:
                 )
                 yield partial
                 task.faults.append(f"transient fault on attempt {task.attempts}")
+                attempt_span.set("outcome", "transient").finish()
             else:
                 done = self.fabric.transfer(
                     src.host, dst.host, source_file.size_bytes, efficiency
@@ -202,25 +237,39 @@ class TransferService:
                 yield done
                 # Checksum verification at the destination.
                 if self.checksum_bytes_per_s > 0 and source_file.size_bytes > 0:
+                    cksum_span = self.tracer.start("transfer.checksum", attempt_span)
                     yield self.env.timeout(
                         source_file.size_bytes / self.checksum_bytes_per_s
                     )
+                    cksum_span.finish()
                 if fault == "corrupt":
                     task.faults.append(
                         f"checksum mismatch on attempt {task.attempts}"
                     )
+                    attempt_span.set("outcome", "corrupt").finish()
                 else:
                     dst.vfs.copy_in(source_file, task.dest_path, now=self.env.now)
                     task.status = TaskStatus.SUCCEEDED
                     task.completed_at = self.env.now
+                    attempt_span.set("outcome", "succeeded").finish()
+                    span.set("status", "SUCCEEDED").set(
+                        "attempts", task.attempts
+                    ).finish()
+                    self._m_succeeded.inc()
+                    self._m_bytes.inc(float(source_file.size_bytes))
+                    self._m_duration.observe(task.duration)
                     self._task_events[task.task_id].succeed(task)
                     return
 
+            self._m_retries.inc()
             if task.attempts >= self.fault_plan.max_attempts:
                 task.status = TaskStatus.FAILED
                 task.completed_at = self.env.now
                 task.error = (
                     f"exhausted {task.attempts} attempts: {task.faults[-1]}"
                 )
+                span.set("status", "FAILED").set("attempts", task.attempts).finish()
+                self._m_failed.inc()
+                self._m_duration.observe(task.duration)
                 self._task_events[task.task_id].succeed(task)
                 return

@@ -52,16 +52,31 @@ class CheckpointStore:
         # Atomic replace so a crash mid-write never corrupts the store.
         d = os.path.dirname(os.path.abspath(self.path)) or "."
         fd, tmp = tempfile.mkstemp(dir=d, prefix=".ckpt-")
+        fd_owned = True
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh = os.fdopen(fd, "w", encoding="utf-8")
+            fd_owned = False  # fh now owns (and always closes) the fd
+            with fh:
                 json.dump(self._seen, fh)
             os.replace(tmp, self.path)
-        except OSError as exc:
+        except BaseException as exc:
+            # Any failure — not just OSError: a TypeError/ValueError from
+            # json.dump used to leak the temp file (and, pre-fdopen, the
+            # fd).  Clean up unconditionally, then surface the error.
+            if fd_owned:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise CheckpointError(f"cannot write checkpoint {self.path}: {exc}") from exc
+            if isinstance(exc, Exception):
+                raise CheckpointError(
+                    f"cannot write checkpoint {self.path}: {exc}"
+                ) from exc
+            raise
 
     # -- API ---------------------------------------------------------------
     def is_processed(self, path: str, checksum: str) -> bool:

@@ -355,3 +355,120 @@ def test_gladier_rejects_empty_and_duplicates():
     dup = GladierTool("d", (FlowState("Same", "mock"),))
     with pytest.raises(FlowDefinitionError, match="duplicate"):
         client.compose("x", [dup, dup])
+
+
+# -- executor lifecycle bugfixes ----------------------------------------------
+
+
+class ExplodingProvider:
+    """Raises a non-FlowError from run() — a programming error, not an
+    action failure."""
+
+    name = "mock"
+
+    def run(self, body):
+        raise ValueError("provider blew up")
+
+    def status(self, action_id):  # pragma: no cover - never reached
+        raise AssertionError("status() must not be called")
+
+
+def test_non_flow_error_still_terminates_the_run():
+    """A ValueError escaping a provider used to leave the run ACTIVE
+    forever while its completed event fired; it must be marked FAILED
+    (with the error recorded), and the original exception must still
+    escape the kernel so the bug stays loud."""
+    env = Environment()
+    auth = AuthClient()
+    alice = auth.register_identity("alice")
+    token = auth.issue_token(alice, [FLOWS_SCOPE], now=0.0)
+    svc = FlowsService(env, auth, RngRegistry(0), transition_latency_s=0.0)
+    svc.register_provider(ExplodingProvider())
+    run = svc.run_flow(token, svc.deploy(linear_def(1)), {})
+
+    witnessed = []
+
+    def waiter():
+        result = yield run.completed
+        witnessed.append(result.status)
+
+    env.process(waiter())
+    with pytest.raises(ValueError, match="provider blew up"):
+        env.run()
+    assert run.status is RunStatus.FAILED
+    assert run.error == "ValueError: provider blew up"
+    assert run.finished_at is not None
+    # The waiter saw a *terminal* run, not an ACTIVE one.
+    assert witnessed == [RunStatus.FAILED]
+
+
+def test_flow_error_does_not_escape_the_kernel():
+    """Action failures are expected outcomes: FAILED run, no exception."""
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=1.0, fail=True)
+    run = svc.run_flow(token, svc.deploy(linear_def(1)), {})
+    env.run(until=run.completed)
+    assert run.status is RunStatus.FAILED
+    assert "mock exploded" in run.error
+
+
+# -- in-flight runtime (FlowRun.as_of) ----------------------------------------
+
+
+def test_in_flight_runtime_reads_the_sim_clock():
+    """runtime_seconds of an ACTIVE run used to fall back to
+    ``started_at`` arithmetic and report 0.0; it must report the elapsed
+    runtime so far."""
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=50.0)
+    run = svc.run_flow(token, svc.deploy(linear_def(1)), {})
+    env.run(until=20.0)
+    assert run.status is RunStatus.ACTIVE
+    assert run.runtime_seconds == pytest.approx(20.0)
+    assert run.overhead_seconds == pytest.approx(20.0)  # no active time yet
+
+    env.run(until=run.completed)
+    assert run.status is RunStatus.SUCCEEDED
+    assert run.runtime_seconds == pytest.approx(run.finished_at - run.started_at)
+
+
+def test_as_of_snapshots_in_flight_and_terminal_runs():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=50.0)
+    run = svc.run_flow(token, svc.deploy(linear_def(1)), {})
+    env.run(until=30.0)
+    snap = run.as_of(30.0)
+    assert snap.in_flight
+    assert snap.runtime_seconds == pytest.approx(30.0)
+    assert snap.as_of == 30.0
+
+    env.run(until=run.completed)
+    done = run.as_of(env.now + 1000.0)  # terminal: window is fixed
+    assert not done.in_flight
+    assert done.runtime_seconds == pytest.approx(run.runtime_seconds)
+    assert done.overhead_seconds == pytest.approx(run.overhead_seconds)
+    assert 0.0 <= done.overhead_fraction <= 1.0
+
+
+def test_summary_of_active_run_is_honest():
+    env = Environment()
+    svc, token, provider = make_flows(env, duration=50.0)
+    run = svc.run_flow(token, svc.deploy(linear_def(1)), {})
+    env.run(until=25.0)
+    doc = run.summary()
+    assert doc["in_flight"] is True
+    assert doc["runtime_s"] == pytest.approx(25.0)
+    env.run(until=run.completed)
+    doc = run.summary()
+    assert doc["in_flight"] is False
+    assert doc["runtime_s"] == pytest.approx(round(run.runtime_seconds, 3))
+
+
+def test_clockless_run_record_still_reports_zero():
+    """Hand-built records (no completed event) cannot see a clock."""
+    from repro.flows import FlowRun
+
+    run = FlowRun(run_id="r", flow_title="t", input={}, started_at=5.0)
+    assert run.runtime_seconds == 0.0
+    doc = run.summary()
+    assert doc["runtime_s"] is None and doc["in_flight"] is True

@@ -282,3 +282,63 @@ def test_fabric_conservation_property(jobs):
     for size_mb, elapsed in records:
         min_time = MB(size_mb) / Gbps(1)  # line-rate lower bound
         assert elapsed >= min_time * 0.999
+
+
+# -- event-queue hygiene under mid-flight admissions ---------------------------
+
+
+def test_repeated_admissions_do_not_bloat_the_event_queue():
+    """Each mid-flight admission abandons the scheduler's per-iteration
+    completion timer.  Those timers used to pile up in the event heap
+    (one per admission, alive until their far-future deadline); the
+    fabric now withdraws stale timers, so heap size stays bounded by
+    live work, not admission count."""
+    env = Environment()
+    t = star_topology()
+    fabric = NetworkFabric(env, t)
+
+    # One huge stream keeps the completion timer far in the future.
+    big = fabric.transfer("user", "eagle", MB(8000))
+
+    n_admissions = 100
+    done_small = []
+
+    def trickle():
+        for _ in range(n_admissions):
+            yield env.timeout(0.2)
+            stream = yield fabric.transfer("user", "eagle", MB(0.1))
+            done_small.append(stream)
+
+    peak = [0]
+
+    def monitor():
+        while True:
+            peak[0] = max(peak[0], len(env._queue))
+            yield env.timeout(0.1)
+
+    env.process(trickle())
+    mon = env.process(monitor())
+    env.run(until=big)
+    assert len(done_small) == n_admissions
+    # Live events at any instant: a few per active stream + the monitor.
+    # With the leak this peaks at O(n_admissions) (~100+).
+    assert peak[0] < 25, f"event queue peaked at {peak[0]} entries"
+
+
+def test_cancelled_fabric_timers_do_not_fire_spuriously():
+    """After the big stream's rate changes, the stale timer must not
+    wake the scheduler at the obsolete deadline."""
+    env = Environment()
+    t = star_topology()
+    fabric = NetworkFabric(env, t)
+    done_a = fabric.transfer("user", "eagle", MB(100))
+
+    def second():
+        yield env.timeout(0.1)
+        yield fabric.transfer("user", "eagle", MB(100))
+
+    env.process(second())
+    env.run()
+    # Both streams completed; queue fully drained (no orphan events).
+    assert done_a.processed
+    assert len(env._queue) == env._cancelled_count == 0

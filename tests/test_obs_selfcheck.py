@@ -1,0 +1,120 @@
+"""Tier-1 gate: the span-derived timing decomposition must agree with
+the record-based one.
+
+``core.stats`` computes Table 1 / Fig. 4 from hand-maintained
+``StepRecord`` fields; ``repro.obs.analysis`` re-derives the same
+quantities from spans alone.  If the two ever disagree beyond float
+dust, either the instrumentation or the accounting regressed — this
+suite is the cross-check, plus a determinism smoke test of the
+``python -m repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import run_campaign
+from repro.core.stats import STEP_LABELS, fig4_samples
+from repro.obs import derive_runs, fig4_samples_from_traces, run_summary_stats
+
+TOL = 1e-6
+
+
+@pytest.fixture(scope="module")
+def traced_campaign():
+    return run_campaign("hyperspectral", duration_s=1800.0, seed=1, obs=True)
+
+
+def test_span_derived_fig4_matches_step_records(traced_campaign):
+    res = traced_campaign
+    runs = derive_runs(res.testbed.obs.tracer.spans)
+    want = fig4_samples(res.completed_runs)
+    got = fig4_samples_from_traces(runs, STEP_LABELS)
+    assert set(got) == set(want)
+    for key in want:
+        assert len(got[key]) == len(want[key]), key
+        for a, b in zip(want[key], got[key]):
+            assert a == pytest.approx(b, abs=TOL), key
+
+
+def test_span_derived_table1_matches_core_stats(traced_campaign):
+    res = traced_campaign
+    runs = derive_runs(res.testbed.obs.tracer.spans)
+    stats = run_summary_stats(runs)
+    row = res.table1()
+    assert stats["total_runs"] == row.total_runs
+    assert stats["min_runtime_s"] == pytest.approx(row.min_runtime_s, abs=TOL)
+    assert stats["mean_runtime_s"] == pytest.approx(row.mean_runtime_s, abs=TOL)
+    assert stats["max_runtime_s"] == pytest.approx(row.max_runtime_s, abs=TOL)
+    assert stats["median_overhead_s"] == pytest.approx(row.median_overhead_s, abs=TOL)
+    assert stats["median_overhead_pct"] == pytest.approx(
+        row.median_overhead_pct, abs=TOL
+    )
+
+
+def test_per_run_runtime_equals_root_span_duration(traced_campaign):
+    res = traced_campaign
+    by_id = {r.run_id: r for r in derive_runs(res.testbed.obs.tracer.spans)}
+    terminal = [r for r in res.runs if r.status.terminal]
+    assert len(terminal) == len(by_id)
+    for record in terminal:
+        trace = by_id[record.run_id]
+        assert trace.runtime_seconds == pytest.approx(
+            record.runtime_seconds, abs=TOL
+        )
+        assert trace.active_seconds == pytest.approx(record.active_seconds, abs=TOL)
+        assert trace.overhead_seconds == pytest.approx(
+            record.overhead_seconds, abs=TOL
+        )
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    bare = run_campaign("hyperspectral", duration_s=900.0, seed=3)
+    traced = run_campaign("hyperspectral", duration_s=900.0, seed=3, obs=True)
+    assert bare.table1() == traced.table1()
+
+
+# -- CLI smoke ----------------------------------------------------------------
+
+
+def test_trace_cli_outputs_are_valid_and_deterministic(tmp_path, capsys):
+    out1, out2 = tmp_path / "a", tmp_path / "b"
+    for out in (out1, out2):
+        rc = main(
+            [
+                "trace",
+                "hyperspectral",
+                "--duration",
+                "600",
+                "--seed",
+                "1",
+                "--format",
+                "both",
+                "--output",
+                str(out),
+            ]
+        )
+        assert rc == 0
+    capsys.readouterr()
+
+    for name in ("trace.json", "trace.jsonl", "metrics.csv"):
+        a = (out1 / name).read_bytes()
+        assert a == (out2 / name).read_bytes(), f"{name} not deterministic"
+
+    doc = json.loads((out1 / "trace.json").read_text())
+    events = doc["traceEvents"]
+    assert events and all(e["ph"] in ("M", "X") for e in events)
+    assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
+
+    for line in (out1 / "trace.jsonl").read_text().splitlines():
+        span = json.loads(line)
+        assert {"id", "parent", "name", "start", "end", "attrs"} <= set(span)
+
+    rows = list(csv.reader((out1 / "metrics.csv").open()))
+    assert rows[0] == ["kind", "name", "time", "value", "count", "sum", "min", "max"]
+    assert {r[0] for r in rows[1:]} <= {"counter", "gauge", "histogram"}
+    assert len(rows) > 1

@@ -415,3 +415,66 @@ def test_determinism_identical_runs(n):
         return trace
 
     assert build() == build()
+
+
+# -- event cancellation --------------------------------------------------------
+
+
+def test_cancelled_timeout_never_fires():
+    env = Environment()
+    fired = []
+    doomed = env.timeout(5.0)
+    doomed.callbacks.append(lambda e: fired.append("doomed"))
+    keeper = env.timeout(3.0)
+    keeper.callbacks.append(lambda e: fired.append("keeper"))
+    env.cancel(doomed)
+    env.run()
+    assert fired == ["keeper"]
+    assert env.now == 3.0  # the clock never advanced to the cancelled event
+
+
+def test_peek_skips_cancelled_events():
+    env = Environment()
+    first = env.timeout(1.0)
+    env.timeout(2.0)
+    env.cancel(first)
+    assert env.peek() == 2.0
+
+
+def test_cancel_is_idempotent_and_queue_compacts():
+    env = Environment()
+    timeouts = [env.timeout(100.0 + i) for i in range(100)]
+    for t in timeouts:
+        env.cancel(t)
+        env.cancel(t)  # idempotent
+    # Tombstone compaction keeps the heap bounded by live entries.
+    assert len(env._queue) < 60
+    env.run()
+    assert env.now == 0.0  # nothing ever fired
+
+
+def test_cancel_processed_event_raises():
+    env = Environment()
+    t = env.timeout(1.0)
+    env.run()
+    with pytest.raises(SimulationError, match="processed"):
+        env.cancel(t)
+
+
+def test_cancel_untriggered_event_raises():
+    env = Environment()
+    e = env.event()  # never scheduled
+    with pytest.raises(SimulationError, match="unscheduled"):
+        env.cancel(e)
+
+
+def test_run_completes_when_tail_is_all_cancelled():
+    """run() must not raise 'no more events' when only tombstones remain."""
+    env = Environment()
+    live = env.timeout(1.0)
+    stale = [env.timeout(50.0) for _ in range(3)]
+    for t in stale:
+        env.cancel(t)
+    env.run()
+    assert live.processed
+    assert env.now == 1.0

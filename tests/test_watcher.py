@@ -191,3 +191,40 @@ def test_checkpoint_write_is_atomic(tmp_path):
         ckpt.mark_processed(f"/f{i}", f"c{i}")
     doc = json.loads(path.read_text())
     assert len(doc) == 20
+
+
+def test_checkpoint_flush_failure_cleans_up_temp_file(tmp_path):
+    """A TypeError from json.dump (non-serializable entry) used to leak
+    the mkstemp temp file and its fd; every flush failure must clean up
+    and surface as CheckpointError."""
+    path = tmp_path / "ckpt.json"
+    ckpt = CheckpointStore(path)
+    ckpt.mark_processed("/good", "c1")
+
+    ckpt._seen["/bad"] = object()  # not JSON-serializable
+    with pytest.raises(CheckpointError, match="cannot write checkpoint"):
+        ckpt._flush()
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name.startswith(".ckpt-")]
+    assert leftovers == []
+    # The on-disk store still holds the last good flush.
+    assert json.loads(path.read_text()) == {"/good": "c1"}
+
+    # And the store recovers once the bad entry is gone.
+    del ckpt._seen["/bad"]
+    ckpt.mark_processed("/good2", "c2")
+    assert json.loads(path.read_text()) == {"/good": "c1", "/good2": "c2"}
+
+
+def test_checkpoint_flush_failures_do_not_leak_fds(tmp_path):
+    import os
+
+    path = tmp_path / "ckpt.json"
+    ckpt = CheckpointStore(path)
+    ckpt._seen["/bad"] = object()
+    fd_dir = "/proc/self/fd"
+    before = len(os.listdir(fd_dir))
+    for _ in range(20):
+        with pytest.raises(CheckpointError):
+            ckpt._flush()
+    after = len(os.listdir(fd_dir))
+    assert after <= before + 1  # no fd growth across repeated failures
