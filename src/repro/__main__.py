@@ -17,6 +17,9 @@ Commands
     Run a traced campaign and export spans (Chrome ``trace_event`` JSON
     and/or JSON-lines) plus a metrics CSV; prints the span-derived
     Table 1 timing aggregates.
+``chaos``
+    Run a campaign under a named fault-injection scenario and print the
+    delivered-vs-dropped breakdown plus the recovery report.
 """
 
 from __future__ import annotations
@@ -156,6 +159,67 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import SCENARIOS, delivery_breakdown, run_chaos_campaign
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            plan = SCENARIOS[name]
+            parts = []
+            if plan.outages:
+                parts.append(f"{len(plan.outages)} outage window(s)")
+            if plan.degradations:
+                parts.append(f"{len(plan.degradations)} link event(s)")
+            if plan.node_failures is not None:
+                parts.append(f"node failures p={plan.node_failures.prob}")
+            if plan.watcher_crashes:
+                parts.append(f"{len(plan.watcher_crashes)} watcher crash(es)")
+            if plan.transfer_faults.transient_prob or plan.transfer_faults.corrupt_prob:
+                parts.append("transfer faults")
+            print(f"{name:15s} {', '.join(parts)}")
+        return 0
+
+    result = run_chaos_campaign(
+        args.scenario, use_case=args.use_case, duration_s=args.duration,
+        seed=args.seed,
+    )
+    breakdown = delivery_breakdown(result)
+    report = result.chaos.report()
+
+    print(f"scenario {args.scenario!r} on {args.use_case}, "
+          f"{args.duration:.0f} s, seed {args.seed}")
+    print(f"injections: {len(report['injections'])}")
+    for inj in report["injections"]:
+        t = inj["t"]
+        extra = ", ".join(
+            f"{k}={v}" for k, v in sorted(inj.items()) if k not in ("t", "kind")
+        )
+        print(f"  t={t:8.1f}s  {inj['kind']:<18s} {extra}")
+    print()
+    total = breakdown["runs"]
+    print(f"flow runs: {total}")
+    for key in ("delivered", "degraded", "dead_lettered", "failed_other",
+                "still_active"):
+        n = breakdown[key]
+        pct = 100.0 * n / total if total else 0.0
+        print(f"  {key:<14s} {n:4d}  ({pct:5.1f}%)")
+    print()
+    print(f"flow retries: {report['flow_retries']}; "
+          f"node failures: {report['node_failures']}; "
+          f"gate rejections: {report['gate_rejections'] or '{}'}")
+    print(f"backlog: {report['backlog_recovered']}/{report['backlog_total']} "
+          f"caught up ({report['backlog_pending']} pending)")
+    if report["recovery_latency_s"]:
+        p = report["recovery_latency_s"]
+        print(f"recovery latency p50/p95/max: "
+              f"{p['p50']:.1f}/{p['p95']:.1f}/{p['max']:.1f} s")
+    if report["dead_letters"]:
+        print("dead letters:")
+        for d in report["dead_letters"]:
+            print(f"  {d}")
+    return 1 if breakdown["still_active"] else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -231,6 +295,27 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p.add_argument("--output", default="trace_out", help="output directory")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "chaos", help="run a campaign under a named fault-injection scenario"
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        default="outage",
+        help="scenario name (see --list)",
+    )
+    p.add_argument(
+        "--use-case",
+        default="hyperspectral",
+        choices=["hyperspectral", "spatiotemporal", "spectral-movie"],
+    )
+    p.add_argument("--duration", type=float, default=3600.0, help="simulated seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--list", action="store_true", help="list available scenarios and exit"
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,278 @@
+"""The chaos controller: schedules a plan's faults onto a live testbed.
+
+``install()`` arms everything the :class:`~repro.chaos.plan.ChaosPlan`
+declares:
+
+* **outage gates** on the transfer/compute/search services (the services
+  hold them duck-typed; see :mod:`repro.chaos.gate`), with one DES
+  process per window that traces the outage and drains the flow
+  executor's degraded-action backlog when the window closes;
+* **link degradation** processes driving
+  :meth:`~repro.net.NetworkFabric.set_link_health` at each event's edges;
+* **node failures** by handing the compute endpoint the plan's
+  :class:`~repro.chaos.plan.NodeFailureSpec` plus a dedicated
+  ``chaos.nodes`` RNG stream;
+* **watcher crashes** that stop the directory observer and restart it
+  with a checkpoint-deduplicated replay.
+
+Every injection appends to :attr:`injections` — a plain, ordered,
+seed-deterministic log that the determinism tests compare across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ..flows.action import ActionState
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
+from .gate import ServiceGate
+from .plan import ChaosPlan, LinkDegradation, OutageWindow, WatcherCrash
+
+__all__ = ["ChaosController"]
+
+#: Outage-window service name -> flow action-provider name.
+_SERVICE_PROVIDER = {
+    "transfer": "transfer",
+    "compute": "compute",
+    "search": "search_ingest",
+}
+
+
+class ChaosController:
+    """Arms a :class:`ChaosPlan` against testbed components.
+
+    All parameters are duck-typed handles from the testbed; pass ``None``
+    for any subsystem a unit test does not exercise.
+    """
+
+    def __init__(
+        self,
+        env: Any,
+        plan: ChaosPlan,
+        *,
+        transfer: Any = None,
+        compute: Any = None,
+        search: Any = None,
+        fabric: Any = None,
+        flows: Any = None,
+        compute_endpoints: tuple = (),
+        rngs: Any = None,
+        observer: Any = None,
+        tracer: Any = None,
+        metrics: Any = None,
+    ) -> None:
+        self.env = env
+        self.plan = plan
+        self.transfer = transfer
+        self.compute = compute
+        self.search = search
+        self.fabric = fabric
+        self.flows = flows
+        self.compute_endpoints = tuple(compute_endpoints)
+        self.rngs = rngs
+        self.observer = observer
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._lazy: dict[str, Any] = {}
+        self.gates: dict[str, ServiceGate] = {}
+        #: Ordered, seed-deterministic record of every injection edge.
+        self.injections: list[dict[str, Any]] = []
+        #: Sim-time from backlog enqueue to successful catch-up.
+        self.recovery_latencies: list[float] = []
+        self.installed = False
+
+    # -- metrics ----------------------------------------------------------
+    def _counter(self, name: str):
+        c = self._lazy.get(name)
+        if c is None:
+            c = self._metrics.counter(name)
+            self._lazy[name] = c
+        return c
+
+    def _histogram(self, name: str):
+        h = self._lazy.get(name)
+        if h is None:
+            h = self._metrics.histogram(name)
+            self._lazy[name] = h
+        return h
+
+    def _log(self, kind: str, **detail: Any) -> None:
+        self.injections.append({"t": self.env.now, "kind": kind, **detail})
+
+    # -- arming ----------------------------------------------------------
+    def install(self) -> None:
+        """Install gates and start one process per scheduled fault."""
+        if self.installed:
+            return
+        self.installed = True
+        services = {
+            "transfer": self.transfer,
+            "compute": self.compute,
+            "search": self.search,
+        }
+        by_service: dict[str, list[OutageWindow]] = {}
+        for w in self.plan.outages:
+            by_service.setdefault(w.service, []).append(w)
+        for name, windows in sorted(by_service.items()):
+            svc = services.get(name)
+            if svc is None:
+                continue
+            gate = ServiceGate(name, windows, self.plan.connect_timeout_s)
+            svc.gate = gate
+            self.gates[name] = gate
+            for w in gate.windows:
+                self.env.process(self._outage_process(w))
+        for d in self.plan.degradations:
+            if self.fabric is not None:
+                self.env.process(self._degradation_process(d))
+        if self.plan.node_failures is not None and self.plan.node_failures.prob > 0:
+            for ep in self.compute_endpoints:
+                ep.node_chaos = self.plan.node_failures
+                ep.chaos_rng = self.rngs.stream("chaos.nodes")
+        for c in self.plan.watcher_crashes:
+            if self.observer is not None:
+                self.env.process(self._watcher_process(c))
+
+    # -- fault processes --------------------------------------------------
+    def _outage_process(self, w: OutageWindow) -> Generator:
+        if w.start_s > self.env.now:
+            yield self.env.timeout(w.start_s - self.env.now)
+        span = (
+            self.tracer.start("chaos.outage")
+            .set("service", w.service)
+            .set("until", w.end_s)
+        )
+        self._log("outage_start", service=w.service, until=w.end_s)
+        self._counter("chaos.outages").inc()
+        yield self.env.timeout(w.duration_s)
+        gate = self.gates.get(w.service)
+        span.set("rejections", gate.rejections if gate else 0).finish()
+        self._log(
+            "outage_end",
+            service=w.service,
+            rejections=gate.rejections if gate else 0,
+        )
+        # Service is back: catch up the non-critical work that degraded
+        # while it was away.
+        yield from self._drain_backlog(_SERVICE_PROVIDER[w.service])
+
+    def _degradation_process(self, d: LinkDegradation) -> Generator:
+        if d.start_s > self.env.now:
+            yield self.env.timeout(d.start_s - self.env.now)
+        span = (
+            self.tracer.start("chaos.degradation")
+            .set("link", f"{d.a}--{d.b}")
+            .set("scale", d.scale)
+        )
+        self._log("link_degraded", a=d.a, b=d.b, scale=d.scale)
+        self._counter("chaos.degradations").inc()
+        self.fabric.set_link_health(d.a, d.b, d.scale)
+        yield self.env.timeout(d.duration_s)
+        self.fabric.set_link_health(d.a, d.b, 1.0)
+        self._log("link_restored", a=d.a, b=d.b)
+        span.finish()
+
+    def _watcher_process(self, c: WatcherCrash) -> Generator:
+        if c.at_s > self.env.now:
+            yield self.env.timeout(c.at_s - self.env.now)
+        if not self.observer.running:
+            return  # already crashed by an overlapping event
+        span = self.tracer.start("chaos.watcher_crash").set("down_s", c.down_s)
+        self._log("watcher_crash", down_s=c.down_s)
+        self._counter("chaos.watcher_crashes").inc()
+        self.observer.stop()
+        yield self.env.timeout(c.down_s)
+        replayed = self.observer.restart(replay=True)
+        self._log("watcher_restart", replayed=replayed)
+        span.set("replayed", replayed).finish()
+
+    # -- degraded-work catch-up ------------------------------------------
+    def _drain_backlog(self, provider_name: str) -> Generator:
+        """Re-drive backlogged actions for ``provider_name`` to terminal
+        state, recording each entry's recovery latency."""
+        if self.flows is None:
+            return
+        pending = [
+            e
+            for e in self.flows.backlog
+            if e.provider == provider_name and not e.recovered and e.error is None
+        ]
+        for entry in pending:
+            span = (
+                self.tracer.start("chaos.catch_up")
+                .set("run_id", entry.run_id)
+                .set("state", entry.state)
+            )
+            provider = self.flows.provider(entry.provider)
+            try:
+                action_id = provider.run(dict(entry.body))
+            except Exception as exc:
+                entry.error = f"{type(exc).__name__}: {exc}"
+                span.set("status", "FAILED").finish()
+                continue
+            status = None
+            for interval in self.flows.backoff.intervals():
+                yield self.env.timeout(interval + self.flows.poll_latency_s)
+                status = provider.status(action_id)
+                if status.state.terminal:
+                    break
+            if status is not None and status.state is ActionState.SUCCEEDED:
+                entry.caught_up_at = self.env.now
+                latency = entry.recovery_latency_s or 0.0
+                self.recovery_latencies.append(latency)
+                self._histogram("chaos.recovery_latency_s").observe(latency)
+                span.set("status", "SUCCEEDED").set("latency_s", latency).finish()
+            else:
+                entry.error = (status.error if status else None) or "catch-up failed"
+                span.set("status", "FAILED").finish()
+
+    def drain_remaining(self) -> Generator:
+        """Catch up every still-pending backlog entry (end-of-campaign
+        sweep for entries whose outage window outlived the run)."""
+        for provider_name in sorted({e.provider for e in (self.flows.backlog if self.flows else [])}):
+            yield from self._drain_backlog(provider_name)
+
+    # -- reporting --------------------------------------------------------
+    def report(self) -> dict[str, Any]:
+        """Seed-deterministic summary of what chaos did and what recovered."""
+        flows = self.flows
+        retries = 0
+        degraded_runs = 0
+        if flows is not None:
+            for run in flows.runs:
+                if run.degraded:
+                    degraded_runs += 1
+                for step in run.steps:
+                    retries += max(0, step.attempts - 1)
+        backlog = list(flows.backlog) if flows is not None else []
+        recovered = [e for e in backlog if e.recovered]
+        latencies = sorted(self.recovery_latencies)
+        percentiles: dict[str, float] = {}
+        if latencies:
+            arr = np.asarray(latencies)
+            percentiles = {
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+                "max": float(arr.max()),
+            }
+        return {
+            "injections": list(self.injections),
+            "gate_rejections": {
+                name: gate.rejections for name, gate in sorted(self.gates.items())
+            },
+            "node_failures": sum(
+                getattr(ep, "node_failures", 0) for ep in self.compute_endpoints
+            ),
+            "flow_retries": retries,
+            "degraded_runs": degraded_runs,
+            "dead_letters": [
+                d.summary() for d in (flows.dead_letters if flows is not None else [])
+            ],
+            "backlog_total": len(backlog),
+            "backlog_recovered": len(recovered),
+            "backlog_pending": len(backlog) - len(recovered),
+            "recovery_latency_s": percentiles,
+        }

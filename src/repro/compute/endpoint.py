@@ -44,6 +44,7 @@ class TaskOutcome:
     queued_at: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
+    node_failures: int = 0  # chaos: nodes lost under this task
 
     @property
     def ok(self) -> bool:
@@ -93,10 +94,18 @@ class ComputeEndpoint:
         self._m_queue_wait = m.histogram(f"endpoint.{name}.queue_wait_s")
         self._available: Store = Store(env)  # parked warm + fresh nodes
         self._park_epoch: dict[str, int] = {}  # reaper invalidation tokens
+        self._metrics = m
+        self._lazy_counters: dict[str, Any] = {}
+        #: Chaos hooks: a node-failure spec (duck-typed, see
+        #: :class:`repro.chaos.NodeFailureSpec`) plus its RNG stream.
+        #: ``None`` (the default) makes zero draws and zero extra events.
+        self.node_chaos: Any = None
+        self.chaos_rng: Any = None
         #: Observability.
         self.tasks_executed = 0
         self.cold_starts = 0
         self.provisions_wasted = 0
+        self.node_failures = 0
 
     # -- node pool management -------------------------------------------------
     @property
@@ -151,6 +160,15 @@ class ComputeEndpoint:
         self.env.process(self._run(func, args, kwargs, done, span))
         return done
 
+    def _counter(self, name: str):
+        """Lazily registered counter — chaos-path instruments must not
+        appear in a clean campaign's metrics export."""
+        c = self._lazy_counters.get(name)
+        if c is None:
+            c = self._metrics.counter(name)
+            self._lazy_counters[name] = c
+        return c
+
     def _run(
         self,
         func: RegisteredFunction,
@@ -160,53 +178,83 @@ class ComputeEndpoint:
         span: Any = NULL_SPAN,
     ) -> Generator:
         outcome = TaskOutcome(queued_at=self.env.now)
-        wait_span = self.tracer.start("compute.queue_wait", span)
-        if len(self._available) == 0:
-            # No warm node parked right now: ask the batch system for one.
-            # If a warm node frees up first, we take it and the fresh node
-            # is returned (see _provisioner).
-            self.env.process(self._provisioner())
-        node: Node = yield self._available.get()
-        self._m_warm.set(len(self._available))
-        self._bump_epoch(node)  # invalidate any pending reaper
-        outcome.node_id = node.node_id
-        outcome.cold_start = node.tasks_run == 0
-        if outcome.cold_start:
-            self.cold_starts += 1
-            self._m_cold.inc()
-        outcome.started_at = self.env.now
-        wait_span.set("node_id", node.node_id).set(
-            "cold_start", outcome.cold_start
-        ).finish()
-        self._m_queue_wait.observe(outcome.started_at - outcome.queued_at)
-        try:
-            if not node.env_cached:
-                warm_span = self.tracer.start("compute.env_cache", span)
-                warmup = lognormal_from_median(
-                    self.rngs.stream("endpoint.envcache"),
-                    self.env_cache_median_s,
-                    self.env_cache_sigma,
-                )
-                if warmup > 0:
-                    yield self.env.timeout(warmup)
-                node.env_cached = True
-                outcome.env_cache_paid = True
-                warm_span.set("node_id", node.node_id).finish()
-            exec_span = self.tracer.start("compute.exec", span).set(
-                "function", func.name
-            )
-            charge = func.charge(args, kwargs)
-            if charge > 0:
-                yield self.env.timeout(charge)
+        while True:
+            wait_span = self.tracer.start("compute.queue_wait", span)
+            if len(self._available) == 0:
+                # No warm node parked right now: ask the batch system for
+                # one.  If a warm node frees up first, we take it and the
+                # fresh node is returned (see _provisioner).
+                self.env.process(self._provisioner())
+            node: Node = yield self._available.get()
+            self._m_warm.set(len(self._available))
+            self._bump_epoch(node)  # invalidate any pending reaper
+            outcome.node_id = node.node_id
+            outcome.cold_start = node.tasks_run == 0
+            if outcome.cold_start:
+                self.cold_starts += 1
+                self._m_cold.inc()
+            outcome.started_at = self.env.now
+            wait_span.set("node_id", node.node_id).set(
+                "cold_start", outcome.cold_start
+            ).finish()
+            self._m_queue_wait.observe(outcome.started_at - outcome.queued_at)
+            node_lost = False
             try:
-                outcome.result = func.fn(*args, **kwargs)
-            except Exception as exc:  # the *user function* failed
-                outcome.error = f"{type(exc).__name__}: {exc}"
-            exec_span.set("ok", outcome.ok).finish()
-            node.tasks_run += 1
-            self.tasks_executed += 1
-            self._m_tasks.inc()
-        finally:
-            outcome.finished_at = self.env.now
-            self._park(node)
-        done.succeed(outcome)
+                if not node.env_cached:
+                    warm_span = self.tracer.start("compute.env_cache", span)
+                    warmup = lognormal_from_median(
+                        self.rngs.stream("endpoint.envcache"),
+                        self.env_cache_median_s,
+                        self.env_cache_sigma,
+                    )
+                    if warmup > 0:
+                        yield self.env.timeout(warmup)
+                    node.env_cached = True
+                    outcome.env_cache_paid = True
+                    warm_span.set("node_id", node.node_id).finish()
+                exec_span = self.tracer.start("compute.exec", span).set(
+                    "function", func.name
+                )
+                charge = func.charge(args, kwargs)
+                fail_frac = (
+                    self.node_chaos.draw(self.chaos_rng)
+                    if self.node_chaos is not None
+                    else None
+                )
+                if fail_frac is not None:
+                    # The node dies mid-task: burn part of the work, lose
+                    # the node (back to the batch pool, not the warm
+                    # store), and re-queue the task under the budget.
+                    burn = charge * fail_frac
+                    if burn > 0:
+                        yield self.env.timeout(burn)
+                    node_lost = True
+                    outcome.node_failures += 1
+                    self.node_failures += 1
+                    self._counter(f"endpoint.{self.name}.node_failures").inc()
+                    exec_span.set("ok", False).set("node_failed", True).finish()
+                    self.scheduler.release(node)
+                    if outcome.node_failures <= self.node_chaos.retry_budget:
+                        continue
+                    outcome.error = (
+                        f"node {node.node_id} died mid-task; retry budget "
+                        f"({self.node_chaos.retry_budget}) exhausted after "
+                        f"{outcome.node_failures} node failures"
+                    )
+                else:
+                    if charge > 0:
+                        yield self.env.timeout(charge)
+                    try:
+                        outcome.result = func.fn(*args, **kwargs)
+                    except Exception as exc:  # the *user function* failed
+                        outcome.error = f"{type(exc).__name__}: {exc}"
+                    exec_span.set("ok", outcome.ok).finish()
+                    node.tasks_run += 1
+                    self.tasks_executed += 1
+                    self._m_tasks.inc()
+            finally:
+                outcome.finished_at = self.env.now
+                if not node_lost:
+                    self._park(node)
+            done.succeed(outcome)
+            return

@@ -83,6 +83,9 @@ class ComputeService:
         self.rngs = rngs or RngRegistry(seed=0)
         self.api_latency_s = float(api_latency_s)
         self.latency_sigma = float(latency_sigma)
+        #: Chaos hook: a duck-typed outage gate (see
+        #: :class:`repro.chaos.ServiceGate`).  ``None`` means always up.
+        self.gate: Any = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         m = metrics if metrics is not None else NULL_METRICS
         self._m_submitted = m.counter("compute.tasks_submitted")
@@ -117,6 +120,13 @@ class ComputeService:
         return self.functions.register(fn, cost_model, name)
 
     # -- client API ---------------------------------------------------------------
+    def check_available(self) -> None:
+        """Raise :class:`~repro.errors.ServiceUnavailable` when a chaos
+        gate has the cloud API inside an outage window.  Tasks already
+        routed to an endpoint keep executing — only the API is down."""
+        if self.gate is not None:
+            self.gate.check(self.env.now)
+
     def submit(
         self,
         token: Token,
@@ -126,6 +136,7 @@ class ComputeService:
         **kwargs: Any,
     ) -> str:
         """Submit an invocation; returns a task id immediately."""
+        self.check_available()
         identity = self.authorizer.authorize(token, self.env.now)
         ep = self.endpoint(endpoint)
         func = self.functions.get(function_id)  # raises if unknown
@@ -160,6 +171,7 @@ class ComputeService:
             raise ComputeError(f"unknown task: {task_id!r}") from None
 
     def task_record(self, task_id: str) -> ComputeTask:
+        self.check_available()
         try:
             return self._tasks[task_id]
         except KeyError:

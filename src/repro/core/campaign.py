@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..chaos import ChaosController, ChaosPlan, NO_CHAOS
 from ..flows import FlowDefinition, FlowRun
 from ..instrument import (
     HYPERSPECTRAL_USE_CASE,
@@ -62,6 +63,10 @@ class CampaignResult:
     app: FlowTriggerApp
     copier: FileCopier
     definition: FlowDefinition
+    #: The armed chaos controller, or None for a clean campaign.
+    chaos: Optional[ChaosController] = None
+    #: The campaign's directory observer (chaos watcher crashes target it).
+    observer: Optional[SimObserver] = None
 
     @property
     def runs(self) -> list[FlowRun]:
@@ -92,6 +97,7 @@ def run_campaign(
     sanitize: bool = False,
     tiebreak: str = "fifo",
     obs: bool = False,
+    chaos: ChaosPlan = NO_CHAOS,
 ) -> CampaignResult:
     """Run one use case for ``duration_s`` simulated seconds.
 
@@ -107,6 +113,13 @@ def run_campaign(
     same-tick ordering hazards.  ``obs=True`` attaches an
     :class:`~repro.obs.Observability` bundle (span tracer + metrics
     registry) to the testbed; find it at ``result.testbed.obs``.
+
+    ``chaos`` takes a :class:`~repro.chaos.ChaosPlan`: when the plan is
+    enabled, the testbed is built with the plan's retry policies and
+    transfer faults, and a :class:`~repro.chaos.ChaosController` is
+    armed before the clock starts (find it at ``result.chaos``).  The
+    default :data:`~repro.chaos.NO_CHAOS` builds nothing and leaves the
+    campaign bit-identical to a chaos-unaware one.
     """
     from .extensions import (
         CompressionSpec,
@@ -119,12 +132,16 @@ def run_campaign(
     if isinstance(use_case, str):
         use_case = use_case_by_name(use_case)
     env = Environment(sanitize=sanitize, tiebreak=tiebreak)
+    chaos_on = chaos.enabled
+    if chaos_on and chaos.transfer_faults is not NO_FAULTS:
+        fault_plan = chaos.transfer_faults
     tb = build_testbed(
         env=env,
         seed=seed,
         calibration=calibration,
         fault_plan=fault_plan,
         obs=Observability(env) if obs else None,
+        retry_policies=chaos.policy_map() if chaos_on else None,
     )
 
     if use_case.signal_type == "hyperspectral":
@@ -158,6 +175,24 @@ def run_campaign(
     observer = SimObserver(tb.user_fs, prefix="/transfer")
     app.attach(observer)
 
+    controller: Optional[ChaosController] = None
+    if chaos_on:
+        controller = ChaosController(
+            env,
+            chaos,
+            transfer=tb.transfer,
+            compute=tb.compute,
+            search=tb.search,
+            fabric=tb.fabric,
+            flows=tb.flows,
+            compute_endpoints=(tb.polaris,),
+            rngs=tb.rngs,
+            observer=observer,
+            tracer=tb.obs.tracer,
+            metrics=tb.obs.metrics,
+        )
+        controller.install()
+
     copier = FileCopier(
         tb.env, tb.user_fs, use_case, instrument=tb.instrument, mode=copier_mode
     )
@@ -173,4 +208,6 @@ def run_campaign(
         app=app,
         copier=copier,
         definition=definition,
+        chaos=controller,
+        observer=observer,
     )

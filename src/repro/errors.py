@@ -23,11 +23,14 @@ __all__ = [
     "FlowError",
     "FlowDefinitionError",
     "ActionFailed",
+    "ActionTimeout",
+    "ServiceUnavailable",
     "SearchError",
     "SchemaError",
     "WatcherError",
     "CheckpointError",
     "CalibrationError",
+    "ChaosError",
 ]
 
 
@@ -87,6 +90,28 @@ class FlowDefinitionError(FlowError):
 
 class ActionFailed(FlowError):
     """An action provider reported a terminal FAILED status."""
+
+
+class ActionTimeout(FlowError):
+    """A flow action exceeded its per-attempt sim-time timeout."""
+
+
+class ServiceUnavailable(ReproError):
+    """A cloud service was called during an outage window.
+
+    Raised by a chaos :class:`~repro.chaos.ServiceGate` after the caller
+    has burned ``connect_timeout_s`` of simulated time waiting for a
+    connection; retry machinery reads that attribute to charge the wait.
+    """
+
+    def __init__(self, message: str, connect_timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.connect_timeout_s = float(connect_timeout_s)
+
+
+class ChaosError(ReproError):
+    """A chaos plan or scenario is inconsistent (bad window, bad scale,
+    unknown service name)."""
 
 
 class SearchError(ReproError):

@@ -15,6 +15,13 @@ from .providers import (
     SearchIngestActionProvider,
     TransferActionProvider,
 )
+from .retry import (
+    AttemptRecord,
+    BacklogEntry,
+    DEFAULT_RETRY_POLICY,
+    DeadLetter,
+    RetryPolicy,
+)
 from .run import FlowRun, FlowRunSnapshot, RunStatus, StepRecord
 from .service import FlowsService
 
@@ -35,6 +42,11 @@ __all__ = [
     "ExponentialBackoff",
     "ConstantBackoff",
     "PAPER_BACKOFF",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "AttemptRecord",
+    "DeadLetter",
+    "BacklogEntry",
     "TransferActionProvider",
     "ComputeActionProvider",
     "SearchIngestActionProvider",

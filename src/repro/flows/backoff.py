@@ -10,7 +10,7 @@ each action (each flow step), as Globus Flows does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterator, Optional
 
 from ..errors import FlowError
 
@@ -19,11 +19,20 @@ __all__ = ["ExponentialBackoff", "PAPER_BACKOFF", "ConstantBackoff"]
 
 @dataclass(frozen=True)
 class ExponentialBackoff:
-    """Intervals ``initial * factor**k`` capped at ``max_interval``."""
+    """Intervals ``initial * factor**k`` capped at ``max_interval``.
+
+    ``jitter`` spreads each interval uniformly over
+    ``[interval * (1 - jitter), interval * (1 + jitter)]`` using the RNG
+    stream passed to :meth:`intervals` — so retry storms across
+    concurrent flow runs desynchronize while staying deterministic under
+    the campaign seed.  With ``jitter=0`` (the default) no draw is made
+    and the interval sequence is bit-identical to the unjittered policy.
+    """
 
     initial: float = 1.0
     factor: float = 2.0
     max_interval: float = 600.0  # ten minutes
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.initial <= 0:
@@ -32,12 +41,24 @@ class ExponentialBackoff:
             raise FlowError(f"factor must be >= 1, got {self.factor}")
         if self.max_interval < self.initial:
             raise FlowError("max_interval must be >= initial")
+        if not 0.0 <= self.jitter < 1.0:
+            raise FlowError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def intervals(self) -> Iterator[float]:
-        """Infinite stream of wait intervals."""
+    def intervals(self, rng: Optional[Any] = None) -> Iterator[float]:
+        """Infinite stream of wait intervals.
+
+        ``rng`` (a :class:`numpy.random.Generator`) is required when
+        ``jitter > 0``; it is untouched when ``jitter == 0``.
+        """
+        if self.jitter > 0.0 and rng is None:
+            raise FlowError("jittered backoff requires an RNG stream")
         current = self.initial
         while True:
-            yield current
+            if self.jitter > 0.0:
+                spread = float(rng.uniform(-self.jitter, self.jitter))
+                yield current * (1.0 + spread)
+            else:
+                yield current
             current = min(current * self.factor, self.max_interval)
 
 
@@ -52,7 +73,7 @@ class ConstantBackoff:
         if self.interval <= 0:
             raise FlowError(f"interval must be positive, got {self.interval}")
 
-    def intervals(self) -> Iterator[float]:
+    def intervals(self, rng: Optional[Any] = None) -> Iterator[float]:
         while True:
             yield self.interval
 

@@ -23,7 +23,7 @@ from typing import Any
 
 from ..auth import Token
 from ..compute import ComputeService, ComputeTaskStatus
-from ..errors import FlowError
+from ..errors import FlowError, ServiceUnavailable
 from ..obs.tracer import NULL_TRACER
 from ..search import SearchService
 from ..sim import Environment
@@ -173,6 +173,9 @@ class SearchIngestActionProvider:
 
     def run(self, body: dict[str, Any]) -> str:
         check_body(self.name, self.input_schema, body)
+        # Surface an outage synchronously at submission so the executor's
+        # retry policy handles it (connect-timeout charge + backoff).
+        self.service.check_available()
         action_id = f"ingest-{next(self._ids):06d}"
         record = {
             "status": "ACTIVE",
@@ -203,6 +206,14 @@ class SearchIngestActionProvider:
                 content=body["content"],
                 visible_to=body.get("visible_to", ("public",)),
             )
+        except ServiceUnavailable as exc:
+            # Outage hit mid-action: the client hangs for the connect
+            # timeout, then the action reports FAILED and the executor's
+            # retry policy takes over.
+            if exc.connect_timeout_s > 0:
+                yield self.env.timeout(exc.connect_timeout_s)
+            record["status"] = "FAILED"
+            record["error"] = f"{type(exc).__name__}: {exc}"
         except Exception as exc:
             record["status"] = "FAILED"
             record["error"] = f"{type(exc).__name__}: {exc}"

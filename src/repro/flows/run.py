@@ -7,6 +7,7 @@ from enum import Enum
 from typing import Any, Optional
 
 from ..sim import Event
+from .retry import AttemptRecord
 
 __all__ = ["RunStatus", "StepRecord", "FlowRun", "FlowRunSnapshot"]
 
@@ -41,6 +42,16 @@ class StepRecord:
     polls: int = 0
     result: dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Full retry history (one entry per attempt, first try included).
+    attempt_history: list[AttemptRecord] = field(default_factory=list)
+    #: True when a non-critical state was skipped under an outage and
+    #: queued into the catch-up backlog instead of failing the run.
+    degraded: bool = False
+
+    @property
+    def attempts(self) -> int:
+        """Number of attempts made at this state (>= 1 once submitted)."""
+        return len(self.attempt_history)
 
     @property
     def observed_seconds(self) -> float:
@@ -92,6 +103,9 @@ class FlowRun:
     steps: list[StepRecord] = field(default_factory=list)
     error: Optional[str] = None
     completed: Optional[Event] = None  # fires at terminal status
+    #: True when at least one non-critical state was skipped (its work
+    #: was queued for catch-up rather than performed inline).
+    degraded: bool = False
 
     # -- aggregate timing --------------------------------------------------
     def _now(self) -> Optional[float]:
@@ -177,6 +191,7 @@ class FlowRun:
             "flow": self.flow_title,
             "status": self.status.value,
             "in_flight": not self.status.terminal,
+            "degraded": self.degraded,
             "runtime_s": runtime,
             "active_s": active,
             "overhead_s": overhead,

@@ -11,23 +11,40 @@ measures at 49.2% / 21.1% of median runtime.
 Runs execute concurrently ("Globus services allow parallel flow
 execution that enables us to start new flows even when previous ones
 are still running", Sec. 3.3).
+
+Reliability (Globus Flows "manages the reliable execution of each
+step"): each provider may carry a :class:`~repro.flows.retry.RetryPolicy`
+— bounded re-submission with seeded-jitter backoff, a per-attempt
+sim-time timeout whose deadline timer is withdrawn with
+``Environment.cancel`` on normal completion, dead-letter records for
+runs that exhaust retries on a critical state, and graceful degradation
+(skip + catch-up backlog) for non-critical ones.  With no policies
+configured the executor is bit-identical to the retry-free one: no
+extra events, no RNG draws, no extra spans.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterator, Optional
 
 from ..auth import ScopeAuthorizer, Token
 from ..auth.identity import FLOWS_SCOPE, AuthClient
-from ..errors import FlowError
+from ..errors import ActionTimeout, FlowError, ServiceUnavailable
 from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..rng import RngRegistry, lognormal_from_median
 from ..sim import Environment
-from .action import ActionProvider, ActionState
+from .action import ActionProvider, ActionState, ActionStatus
 from .backoff import PAPER_BACKOFF, ExponentialBackoff
 from .definition import FlowDefinition
+from .retry import (
+    AttemptRecord,
+    BacklogEntry,
+    DEFAULT_RETRY_POLICY,
+    DeadLetter,
+    RetryPolicy,
+)
 from .run import FlowRun, RunStatus, StepRecord
 
 __all__ = ["FlowsService"]
@@ -49,6 +66,9 @@ class FlowsService:
         API round-trip added to each poll.
     backoff:
         Polling policy (defaults to the paper's 1 s → 10 min doubling).
+    retry_policies:
+        Optional ``{provider name: RetryPolicy}``; providers without an
+        entry get the no-retry :data:`DEFAULT_RETRY_POLICY`.
     """
 
     def __init__(
@@ -60,6 +80,7 @@ class FlowsService:
         transition_sigma: float = 0.35,
         poll_latency_s: float = 0.15,
         backoff: "ExponentialBackoff | Any" = PAPER_BACKOFF,
+        retry_policies: "dict[str, RetryPolicy] | None" = None,
         tracer: Any = None,
         metrics: Any = None,
     ) -> None:
@@ -70,8 +91,10 @@ class FlowsService:
         self.transition_sigma = float(transition_sigma)
         self.poll_latency_s = float(poll_latency_s)
         self.backoff = backoff
+        self.retry_policies: dict[str, RetryPolicy] = dict(retry_policies or {})
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        m = metrics if metrics is not None else NULL_METRICS
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        m = self._metrics
         self._m_started = m.counter("flows.runs_started")
         self._m_succeeded = m.counter("flows.runs_succeeded")
         self._m_failed = m.counter("flows.runs_failed")
@@ -79,11 +102,19 @@ class FlowsService:
         self._m_transitions = m.counter("flows.transitions")
         self._m_runtime = m.histogram("flows.runtime_s")
         self._m_active_runs = m.gauge("flows.active_runs")
+        #: Chaos-path instruments, registered lazily on first use so a
+        #: clean campaign's metrics export is bit-identical to one built
+        #: before the retry machinery existed.
+        self._lazy_counters: dict[str, Any] = {}
         self._providers: dict[str, ActionProvider] = {}
         self._definitions: dict[str, FlowDefinition] = {}
         self._runs: dict[str, FlowRun] = {}
         self._flow_ids = itertools.count(1)
         self._run_ids = itertools.count(1)
+        #: Dead-letter records for runs that exhausted critical retries.
+        self.dead_letters: list[DeadLetter] = []
+        #: Catch-up queue of degraded (skipped) non-critical actions.
+        self.backlog: list[BacklogEntry] = []
 
     # -- registry ----------------------------------------------------------
     def register_provider(self, provider: ActionProvider) -> None:
@@ -96,6 +127,10 @@ class FlowsService:
             return self._providers[name]
         except KeyError:
             raise FlowError(f"unknown action provider: {name!r}") from None
+
+    def retry_policy(self, provider_name: str) -> RetryPolicy:
+        """The retry policy in force for ``provider_name``."""
+        return self.retry_policies.get(provider_name, DEFAULT_RETRY_POLICY)
 
     def deploy(self, definition: FlowDefinition) -> str:
         """Validate provider references and register the flow."""
@@ -145,7 +180,19 @@ class FlowsService:
     def runs(self) -> list[FlowRun]:
         return sorted(self._runs.values(), key=lambda r: r.run_id)
 
+    @property
+    def active_run_count(self) -> int:
+        return sum(1 for r in self._runs.values() if not r.status.terminal)
+
     # -- internals ---------------------------------------------------------------
+    def _counter(self, name: str):
+        """Lazily registered counter (see ``_lazy_counters``)."""
+        c = self._lazy_counters.get(name)
+        if c is None:
+            c = self._metrics.counter(name)
+            self._lazy_counters[name] = c
+        return c
+
     def _transition(self) -> Generator:
         rng = self.rngs.stream("flows.latency")
         delay = lognormal_from_median(
@@ -153,6 +200,178 @@ class FlowsService:
         )
         if delay > 0:
             yield self.env.timeout(delay)
+
+    def _attempt(
+        self,
+        provider: ActionProvider,
+        body: dict[str, Any],
+        step: StepRecord,
+        step_span: Any,
+        policy: RetryPolicy,
+    ) -> Generator:
+        """Drive one submission attempt to a terminal :class:`ActionStatus`.
+
+        Raises :class:`ServiceUnavailable` when the provider's service is
+        in an outage window, and :class:`ActionTimeout` when the policy's
+        per-attempt sim-time budget runs out.  The deadline timer (when
+        configured) is withdrawn via :meth:`Environment.cancel` on every
+        exit path so abandoned attempts never leak queue entries.
+        """
+        deadline = (
+            self.env.timeout(policy.attempt_timeout_s)
+            if policy.attempt_timeout_s is not None
+            else None
+        )
+        try:
+            step.action_id = provider.run(body)
+            step.submitted_at = self.env.now
+            step_span.set("action_id", step.action_id)
+            for interval in self.backoff.intervals():
+                poll_span = self.tracer.start("flow.poll", step_span)
+                wait = self.env.timeout(interval + self.poll_latency_s)
+                if deadline is None:
+                    yield wait
+                else:
+                    yield self.env.any_of([wait, deadline])
+                    if deadline.processed and not wait.processed:
+                        self.env.cancel(wait)
+                        poll_span.set("state", "TIMEOUT").finish()
+                        raise ActionTimeout(
+                            f"action {step.action_id} exceeded its "
+                            f"{policy.attempt_timeout_s}s attempt budget"
+                        )
+                step.polls += 1
+                self._m_polls.inc()
+                try:
+                    status = provider.status(step.action_id)
+                except ServiceUnavailable:
+                    poll_span.set("state", "UNAVAILABLE").finish()
+                    raise
+                poll_span.set("state", status.state.value).finish()
+                if status.state.terminal:
+                    return status
+        finally:
+            if deadline is not None and not deadline.processed:
+                self.env.cancel(deadline)
+
+    def _retry_intervals(self, policy: RetryPolicy) -> Iterator[float]:
+        """Backoff intervals between attempts; jitter draws come from the
+        dedicated ``flows.retry`` stream (touched only on retries)."""
+        rng = (
+            self.rngs.stream("flows.retry")
+            if getattr(policy.backoff, "jitter", 0.0)
+            else None
+        )
+        return policy.backoff.intervals(rng)
+
+    def _drive_state(
+        self,
+        state: Any,
+        provider: ActionProvider,
+        body: dict[str, Any],
+        run: FlowRun,
+        step: StepRecord,
+        step_span: Any,
+    ) -> Generator:
+        """Run one flow state under its provider's retry policy.
+
+        Returns the terminal :class:`ActionStatus` on success, or
+        ``None`` when the state was *degraded* (skipped + backlogged).
+        Raises :class:`FlowError` when the run must fail.
+        """
+        policy = self.retry_policy(state.provider)
+        retry_waits: Optional[Iterator[float]] = None
+        last_status: Optional[ActionStatus] = None
+        while True:
+            attempt = AttemptRecord(
+                number=len(step.attempt_history) + 1, started_at=self.env.now
+            )
+            step.attempt_history.append(attempt)
+            failure: Optional[str] = None
+            try:
+                status: ActionStatus = yield from self._attempt(
+                    provider, body, step, step_span, policy
+                )
+            except ServiceUnavailable as exc:
+                attempt.outcome = "unavailable"
+                attempt.error = str(exc)
+                failure = f"service unavailable: {exc}"
+                # The client hangs for the connect timeout before the
+                # error surfaces — charge that wait in sim time.
+                if exc.connect_timeout_s > 0:
+                    yield self.env.timeout(exc.connect_timeout_s)
+            except ActionTimeout as exc:
+                attempt.outcome = "timeout"
+                attempt.error = str(exc)
+                failure = str(exc)
+            else:
+                if status.state is ActionState.FAILED:
+                    last_status = status
+                    attempt.outcome = "failed"
+                    attempt.error = status.error
+                    failure = status.error or "action failed"
+                else:
+                    attempt.outcome = "succeeded"
+                    attempt.ended_at = self.env.now
+                    return status
+            attempt.ended_at = self.env.now
+
+            if len(step.attempt_history) < policy.max_attempts:
+                self._counter("flows.retries").inc()
+                retry_span = (
+                    self.tracer.start("flow.retry", step_span)
+                    .set("attempt", attempt.number)
+                    .set("error", attempt.error or "")
+                )
+                if retry_waits is None:
+                    retry_waits = self._retry_intervals(policy)
+                delay = next(retry_waits)
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                retry_span.finish()
+                continue
+
+            # Exhausted.  Non-critical states degrade; critical ones
+            # dead-letter and fail the run.
+            if not policy.critical:
+                self._counter("flows.degraded_steps").inc()
+                step.degraded = True
+                step.error = failure
+                run.degraded = True
+                self.env.touch(self.backlog, "w", label="flows.backlog")
+                self.backlog.append(
+                    BacklogEntry(
+                        run_id=run.run_id,
+                        state=state.name,
+                        provider=state.provider,
+                        body=dict(body),
+                        enqueued_at=self.env.now,
+                    )
+                )
+                step_span.set("degraded", True)
+                return None
+            self._counter("flows.dead_letters").inc()
+            self.dead_letters.append(
+                DeadLetter(
+                    run_id=run.run_id,
+                    flow_title=run.flow_title,
+                    state=state.name,
+                    provider=state.provider,
+                    attempts=list(step.attempt_history),
+                    error=failure or "unknown failure",
+                    recorded_at=self.env.now,
+                )
+            )
+            # Same terminal bookkeeping the success path gets, so a
+            # failed step's span and StepRecord still agree on timing.
+            step.detected_at = self.env.now
+            if last_status is not None:
+                step.active_seconds = last_status.active_seconds
+            step.error = failure
+            step_span.set("polls", step.polls)
+            step_span.set("active_s", step.active_seconds)
+            step_span.set("status", "FAILED").finish()
+            raise FlowError(f"state {state.name!r} failed: {failure}")
 
     def _execute(
         self, definition: FlowDefinition, run: FlowRun, run_span: Any = NULL_SPAN
@@ -177,31 +396,23 @@ class FlowsService:
                 self._m_transitions.inc()
                 provider = self.provider(state.provider)
                 body = state.resolve(context)
-                step.action_id = provider.run(body)
-                step.submitted_at = self.env.now
-                step_span.set("action_id", step.action_id)
 
-                status = None
-                for interval in self.backoff.intervals():
-                    poll_span = self.tracer.start("flow.poll", step_span)
-                    yield self.env.timeout(interval + self.poll_latency_s)
-                    step.polls += 1
-                    self._m_polls.inc()
-                    status = provider.status(step.action_id)
-                    poll_span.set("state", status.state.value).finish()
-                    if status.state.terminal:
-                        break
-                assert status is not None
+                status = yield from self._drive_state(
+                    state, provider, body, run, step, step_span
+                )
                 step.detected_at = self.env.now
-                step.active_seconds = status.active_seconds
                 step_span.set("polls", step.polls)
+                if status is None:
+                    # Degraded: the state was skipped and backlogged.
+                    step.result = {}
+                    step_span.set("active_s", 0.0)
+                    step_span.set("status", "DEGRADED").finish()
+                    step_span = NULL_SPAN
+                    self.env.touch(run, "w", label=f"flows.{run.run_id}.states")
+                    context["states"][state.name] = {}
+                    continue
+                step.active_seconds = status.active_seconds
                 step_span.set("active_s", status.active_seconds)
-                if status.state is ActionState.FAILED:
-                    step.error = status.error
-                    step_span.set("status", "FAILED").finish()
-                    raise FlowError(
-                        f"state {state.name!r} failed: {status.error}"
-                    )
                 step.result = status.result
                 step_span.set("status", "SUCCEEDED").finish()
                 step_span = NULL_SPAN
@@ -231,7 +442,10 @@ class FlowsService:
             if not step_span.ended:
                 step_span.set("status", run.status.value).finish()
             run.finished_at = self.env.now
-            run_span.set("status", run.status.value).finish()
+            run_span.set("status", run.status.value)
+            if run.degraded:
+                run_span.set("degraded", True)
+            run_span.finish()
             self._m_active_runs.add(-1)
             if run.status is RunStatus.SUCCEEDED:
                 self._m_succeeded.inc()

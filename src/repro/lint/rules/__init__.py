@@ -6,12 +6,19 @@ registry.  Three packs, id-spaced by concern:
 * ``D1xx`` — determinism under a seed (:mod:`.determinism`)
 * ``S2xx`` — DES kernel safety (:mod:`.des_safety`)
 * ``F3xx`` — flow-definition validation (:mod:`.flowdef`)
-* ``F4xx`` — whole-flow payload dataflow (:mod:`.dataflow`)
+* ``F4xx`` — whole-flow payload dataflow (:mod:`.dataflow`) and
+  fault-path resilience (:mod:`.resilience`)
 """
 
 from __future__ import annotations
 
-from . import dataflow, des_safety, determinism, flowdef  # noqa: F401  (registration)
+from . import (  # noqa: F401  (registration)
+    dataflow,
+    des_safety,
+    determinism,
+    flowdef,
+    resilience,
+)
 from .dataflow import (
     DanglingPayloadReference,
     PayloadTypeConflict,
@@ -34,6 +41,7 @@ from .flowdef import (
     UnknownProvider,
     UnreachableState,
 )
+from .resilience import SwallowedFaultSignal
 
 __all__ = [
     "WallClockCall",
@@ -54,4 +62,5 @@ __all__ = [
     "UndeclaredParameter",
     "PayloadTypeConflict",
     "UndeclaredProviderSchema",
+    "SwallowedFaultSignal",
 ]

@@ -1,0 +1,132 @@
+"""F4xx resilience rules: fault-path hygiene in action providers.
+
+The chaos subsystem (:mod:`repro.chaos`) relies on failures *surfacing*:
+an outage gate raises :class:`~repro.errors.ServiceUnavailable`, the
+flow executor's retry loop catches it, charges the connect timeout, and
+retries or dead-letters.  An action provider that catches these fault
+signals itself and swallows them breaks the whole recovery chain — the
+executor sees a healthy action where there was an outage, so nothing
+retries, nothing degrades, and the run silently loses work.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..analyzer import FileContext, Rule, register
+from ..diagnostics import Severity
+
+__all__ = ["SwallowedFaultSignal"]
+
+#: Exception names the flow executor's recovery machinery must see.
+_FAULT_SIGNALS = frozenset({"ServiceUnavailable", "FlowError", "ActionTimeout"})
+
+
+def _caught_names(type_node: ast.AST) -> set[str]:
+    names: set[str] = set()
+    nodes = (
+        list(type_node.elts) if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    for n in nodes:
+        if isinstance(n, ast.Name):
+            names.add(n.id)
+        elif isinstance(n, ast.Attribute):
+            names.add(n.attr)
+    return names
+
+
+def _is_provider_class(cls: ast.ClassDef) -> bool:
+    """Heuristic for "this class is an action provider": declares an
+    ``input_schema`` or implements both ``run`` and ``status`` (the
+    :class:`~repro.flows.ActionProvider` protocol), or says so by name."""
+    if cls.name.endswith("ActionProvider") or cls.name.endswith("Provider"):
+        return True
+    methods: set[str] = set()
+    has_schema = False
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "input_schema":
+                    has_schema = True
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "input_schema"
+            ):
+                has_schema = True
+    return has_schema or {"run", "status"} <= methods
+
+
+def _records_or_escalates(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body do *anything* observable with the fault?
+
+    Observable means: re-raising, returning a value, calling anything
+    (logging, recording a span, charging a timeout...), or writing the
+    error into state (an attribute/subscript assignment).  A body of
+    ``pass``, bare ``continue``, or plain local assignments is silent.
+    """
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Return) and node.value is not None:
+                return True
+            if isinstance(node, (ast.Call, ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        return True
+    return False
+
+
+@register
+class SwallowedFaultSignal(Rule):
+    """F405: an action provider catches a fault signal
+    (ServiceUnavailable / FlowError / ActionTimeout) and silently drops
+    it, hiding outages from the flow executor's retry machinery."""
+
+    rule_id = "F405"
+    severity = Severity.ERROR
+    summary = "action provider swallows ServiceUnavailable/FlowError"
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, ctx: FileContext, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            return  # bare except: S203's business
+        caught = _caught_names(node.type) & _FAULT_SIGNALS
+        if not caught:
+            return
+        # Only inside provider-ish classes: the executor owns retry
+        # semantics for these, so a provider intercepting them breaks
+        # the contract.  Elsewhere (the executor itself, the chaos
+        # controller, tests) catching them is the whole point.
+        cls = self._enclosing_class(ctx, node)
+        if cls is None or not _is_provider_class(cls):
+            return
+        if _records_or_escalates(node):
+            return
+        names = "/".join(sorted(caught))
+        ctx.report(
+            self,
+            node,
+            f"except {names} with a silent body inside provider "
+            f"{cls.name!r} hides the outage from the flow executor — "
+            f"record it in the action status or re-raise",
+        )
+
+    @staticmethod
+    def _enclosing_class(
+        ctx: FileContext, node: ast.AST
+    ) -> "ast.ClassDef | None":
+        current: "ast.AST | None" = node
+        while current is not None:
+            current = ctx.parent(current)
+            if isinstance(current, ast.ClassDef):
+                return current
+        return None

@@ -116,6 +116,9 @@ class NetworkFabric:
         self._streams: dict[int, Stream] = {}
         self._ids = itertools.count(1)
         self._wake: Optional[Event] = None
+        #: Link key -> health scale in [0, 1]; absent means healthy.
+        #: Chaos degradation events write this via :meth:`set_link_health`.
+        self._link_scale: dict[tuple[str, str], float] = {}
         self._scheduler: Process = env.process(self._run())
 
     # -- public API ------------------------------------------------------------
@@ -172,6 +175,30 @@ class NetworkFabric:
             s.rate for s in self._streams.values() if s.src == src and s.dst == dst
         )
 
+    def set_link_health(self, a: str, b: str, scale: float) -> None:
+        """Scale the ``a``–``b`` link's capacity by ``scale`` in [0, 1].
+
+        ``scale=1.0`` restores full health; ``0.0`` blacks the link out
+        (in-flight streams stall at zero rate and resume when health
+        returns).  Settles accrued bytes, reallocates fair shares, and
+        kicks the scheduler — the same re-admission machinery a new
+        stream uses, so flapping a link mid-transfer is safe.
+        """
+        if not 0.0 <= scale <= 1.0:
+            raise EndpointError(f"link health scale must be in [0, 1], got {scale}")
+        link = self.topology.link(a, b)  # raises for unknown links
+        if scale >= 1.0:
+            self._link_scale.pop(link.key, None)
+        else:
+            self._link_scale[link.key] = float(scale)
+        if self._streams:
+            self._reallocate()
+            self._kick()
+
+    def link_health(self, a: str, b: str) -> float:
+        """Current health scale of the ``a``–``b`` link (1.0 = healthy)."""
+        return self._link_scale.get(self.topology.link(a, b).key, 1.0)
+
     # -- internals -----------------------------------------------------------
     def _admit_after(self, stream: Stream, latency: float):
         if latency > 0:
@@ -190,7 +217,9 @@ class NetworkFabric:
         caps: dict[tuple[str, str], float] = {}
         for s in self._streams.values():
             for link in s.links:
-                caps[link.key] = link.capacity_bps
+                caps[link.key] = link.capacity_bps * self._link_scale.get(
+                    link.key, 1.0
+                )
         return caps
 
     def _settle(self) -> None:
@@ -223,8 +252,15 @@ class NetworkFabric:
                 continue
             dt = min(s.eta for s in self._streams.values())
             if dt == float("inf"):
-                # Should not happen: every admitted stream has a rate.
-                raise EndpointError("active stream with zero allocated rate")
+                if not self._link_scale:
+                    # No degraded links: a zero-rate admitted stream is a
+                    # fabric bug, not a stall — fail loudly.
+                    raise EndpointError("active stream with zero allocated rate")
+                # Every stream is stalled behind a blacked-out link: sleep
+                # until membership or link health changes.
+                self._wake = self.env.event()
+                yield self._wake
+                continue
             wake = self.env.event()
             self._wake = wake
             timer = self.env.timeout(dt)

@@ -44,6 +44,9 @@ class SearchService:
         m = metrics if metrics is not None else NULL_METRICS
         self._m_ingests = m.counter("search.ingests")
         self._m_queries = m.counter("search.queries")
+        #: Chaos hook: a duck-typed outage gate (see
+        #: :class:`repro.chaos.ServiceGate`).  ``None`` means always up.
+        self.gate: Any = None
         self._indices: dict[str, SearchIndex] = {}
 
     def create_index(self, name: str, validate: bool = True) -> SearchIndex:
@@ -58,6 +61,12 @@ class SearchService:
             return self._indices[name]
         except KeyError:
             raise ValueError(f"unknown index: {name!r}") from None
+
+    def check_available(self) -> None:
+        """Raise :class:`~repro.errors.ServiceUnavailable` when a chaos
+        gate has the search API inside an outage window."""
+        if self.gate is not None:
+            self.gate.check(self.env.now)
 
     def _charge(self, median: float):
         rng = self.rngs.stream("search.latency")
@@ -78,6 +87,7 @@ class SearchService:
 
         Use as ``entry = yield from service.ingest(...)``.
         """
+        self.check_available()
         self._ingest_auth.authorize(token, self.env.now)
         idx = self.index(index)
         yield self._charge(self.ingest_latency_s)

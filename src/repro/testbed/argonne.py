@@ -87,12 +87,16 @@ def build_testbed(
     fault_plan: FaultPlan = NO_FAULTS,
     operator_name: str = "operator",
     obs: Any = None,
+    retry_policies: Optional[dict] = None,
 ) -> Testbed:
     """Construct the full testbed on ``env`` (a fresh one by default).
 
     Pass an :class:`~repro.obs.Observability` bundle as ``obs`` to
     thread one tracer + metrics registry through every service; by
     default tracing is off and every instrumentation point is a no-op.
+    ``retry_policies`` maps action-provider names to
+    :class:`~repro.flows.RetryPolicy` for the flow executor (chaos
+    campaigns install theirs through this).
     """
     env = env or Environment()
     if obs is None:
@@ -235,6 +239,7 @@ def build_testbed(
             factor=cal.backoff_factor,
             max_interval=cal.backoff_max_s,
         ),
+        retry_policies=retry_policies,
         tracer=tracer,
         metrics=metrics,
     )

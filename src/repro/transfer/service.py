@@ -79,6 +79,9 @@ class TransferService:
         self.throughput_sigma = float(throughput_sigma)
         self.checksum_bytes_per_s = float(checksum_bytes_per_s)
         self.fault_plan = fault_plan
+        #: Chaos hook: a duck-typed outage gate (see
+        #: :class:`repro.chaos.ServiceGate`).  ``None`` means always up.
+        self.gate: Any = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         m = metrics if metrics is not None else NULL_METRICS
         self._m_submitted = m.counter("transfer.tasks_submitted")
@@ -105,6 +108,13 @@ class TransferService:
             raise EndpointError(f"unknown endpoint: {name!r}") from None
 
     # -- client API -----------------------------------------------------------
+    def check_available(self) -> None:
+        """Raise :class:`~repro.errors.ServiceUnavailable` when a chaos
+        gate has the cloud API inside an outage window.  Only the control
+        plane is gated — data already moving on the fabric keeps moving."""
+        if self.gate is not None:
+            self.gate.check(self.env.now)
+
     def submit(
         self,
         token: Token,
@@ -119,6 +129,7 @@ class TransferService:
         submission (as Globus does); the data movement runs
         asynchronously.
         """
+        self.check_available()
         identity = self.authorizer.authorize(token, self.env.now)
         src = self.endpoint(source_endpoint)
         dst = self.endpoint(dest_endpoint)
@@ -162,6 +173,7 @@ class TransferService:
 
     def task_record(self, task_id: str) -> TransferTask:
         """Internal/inspection access to the full task record."""
+        self.check_available()
         try:
             return self._tasks[task_id]
         except KeyError:

@@ -139,8 +139,37 @@ class SimObserver:
         for h in list(self._handlers):
             h(ev)
 
+    @property
+    def running(self) -> bool:
+        """True while subscribed to filesystem creation events."""
+        return self._unsubscribe is not None
+
     def stop(self) -> None:
-        """Detach from the filesystem."""
+        """Detach from the filesystem (a crashed watcher process).
+
+        Files created while stopped are missed until :meth:`restart`
+        replays the directory listing."""
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+
+    def restart(self, replay: bool = True) -> int:
+        """Re-attach after :meth:`stop`, recovering missed files.
+
+        With ``replay=True`` (the crash-recovery protocol) every file
+        currently under the watched prefix is pushed back through the
+        handlers, exactly like the watcher app's startup scan; handlers
+        dedup via their checkpoint store, so already-dispatched files are
+        skipped rather than double-triggered.  Returns the number of
+        files replayed.  Restarting a running observer is an error —
+        it would double-subscribe and dispatch every event twice.
+        """
+        if self._unsubscribe is not None:
+            raise WatcherError("observer is already running")
+        self._unsubscribe = self.vfs.subscribe(self._on_create)
+        if not replay:
+            return 0
+        files = self.vfs.listdir(self.prefix)
+        for f in files:
+            self._on_create(f)
+        return len(files)

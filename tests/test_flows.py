@@ -54,6 +54,57 @@ def test_constant_backoff():
     assert [next(it) for _ in range(3)] == [2.5, 2.5, 2.5]
 
 
+def test_backoff_jitter_validation():
+    with pytest.raises(FlowError):
+        ExponentialBackoff(jitter=-0.1)
+    with pytest.raises(FlowError):
+        ExponentialBackoff(jitter=1.0)
+    ExponentialBackoff(jitter=0.999)  # open upper bound
+
+
+def test_jittered_backoff_requires_rng():
+    policy = ExponentialBackoff(initial=1.0, jitter=0.5)
+    with pytest.raises(FlowError):
+        next(policy.intervals())
+
+
+def test_jittered_backoff_deterministic_under_seed():
+    policy = ExponentialBackoff(initial=1.0, factor=2.0, max_interval=64.0, jitter=0.5)
+
+    def draw():
+        rng = RngRegistry(seed=42).stream("flows.retry")
+        it = policy.intervals(rng)
+        return [next(it) for _ in range(10)]
+
+    a, b = draw(), draw()
+    assert a == b  # bit-identical under the same seed
+    assert draw() != [
+        next(policy.intervals(RngRegistry(seed=43).stream("flows.retry")))
+        for _ in range(10)
+    ]
+
+
+def test_jittered_backoff_stays_within_spread():
+    policy = ExponentialBackoff(initial=2.0, factor=2.0, max_interval=600.0, jitter=0.25)
+    rng = RngRegistry(seed=0).stream("flows.retry")
+    base = ExponentialBackoff(initial=2.0, factor=2.0, max_interval=600.0)
+    base_it, jit_it = base.intervals(), policy.intervals(rng)
+    for _ in range(12):
+        nominal, jittered = next(base_it), next(jit_it)
+        assert nominal * 0.75 <= jittered <= nominal * 1.25
+
+
+def test_zero_jitter_is_bit_identical_and_touches_no_rng():
+    plain = ExponentialBackoff(initial=1.0, factor=2.0, max_interval=600.0)
+    zero = ExponentialBackoff(initial=1.0, factor=2.0, max_interval=600.0, jitter=0.0)
+    rng = RngRegistry(seed=7).stream("flows.retry")
+    before = rng.bit_generator.state["state"]["state"]
+    plain_it, zero_it = plain.intervals(), zero.intervals(rng)
+    assert [next(plain_it) for _ in range(12)] == [next(zero_it) for _ in range(12)]
+    # the RNG stream was handed over but never drawn from
+    assert rng.bit_generator.state["state"]["state"] == before
+
+
 # -- templates -------------------------------------------------------------------
 
 

@@ -350,3 +350,104 @@ def test_noqa_suppresses_each_pack(snippet, rid):
 def test_noqa_with_wrong_id_does_not_suppress():
     src = "import time\nt = time.time()  # repro: noqa[D999]\n"
     assert "D101" in rule_ids(src)
+
+
+# -- F405: providers swallowing fault signals ---------------------------------
+
+
+def test_f405_fires_on_silent_pass_in_provider():
+    src = """
+    class MyActionProvider:
+        def run(self, body):
+            try:
+                self.service.submit(body)
+            except ServiceUnavailable:
+                pass
+    """
+    assert "F405" in rule_ids(src)
+
+
+def test_f405_fires_on_schema_declared_provider_and_tuple_catch():
+    src = """
+    class Uploader:
+        input_schema = {"src": "str"}
+
+        def run(self, body):
+            try:
+                self.push(body)
+            except (FlowError, ValueError):
+                ok = False
+    """
+    assert "F405" in rule_ids(src)
+
+
+def test_f405_fires_on_run_status_protocol_class():
+    src = """
+    class Mover:
+        def run(self, body):
+            try:
+                self.go(body)
+            except ActionTimeout:
+                pass
+
+        def status(self, action_id):
+            return None
+    """
+    assert "F405" in rule_ids(src)
+
+
+def test_f405_clean_when_provider_reraises():
+    src = """
+    class MyActionProvider:
+        def run(self, body):
+            try:
+                self.service.submit(body)
+            except ServiceUnavailable:
+                raise
+    """
+    assert rule_ids(src) == []
+
+
+def test_f405_clean_when_provider_records_the_fault():
+    src = """
+    class MyActionProvider:
+        def run(self, body):
+            try:
+                self.service.submit(body)
+            except ServiceUnavailable as exc:
+                self.records[body["id"]].error = str(exc)
+    """
+    assert rule_ids(src) == []
+
+
+def test_f405_clean_outside_provider_classes():
+    # the executor and the chaos controller legitimately absorb these
+    src = """
+    class FlowsService:
+        def drive(self, provider, body):
+            try:
+                provider.run(body)
+            except ServiceUnavailable:
+                pass
+    """
+    assert rule_ids(src) == []
+    src = """
+    def helper(service, body):
+        try:
+            service.submit(body)
+        except FlowError:
+            pass
+    """
+    assert rule_ids(src) == []
+
+
+def test_f405_ignores_unrelated_exceptions_in_providers():
+    src = """
+    class MyActionProvider:
+        def run(self, body):
+            try:
+                self.service.submit(body)
+            except KeyError:
+                pass
+    """
+    assert rule_ids(src) == []

@@ -289,3 +289,96 @@ def test_parallel_transfers_contend_for_switch(world):
     d1 = service.task_record(t1).duration
     d2 = service.task_record(t2).duration
     assert d1 > 1.8 and d2 > 1.8
+
+def _faulty_world(fault_plan):
+    """A two-host world with a metered fabric for byte accounting."""
+    from repro.obs.metrics import MetricsRegistry
+
+    env = Environment()
+    metrics = MetricsRegistry(env)
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b", Gbps(1))
+    fabric = NetworkFabric(env, topo, metrics=metrics)
+    auth = AuthClient()
+    alice = auth.register_identity("alice")
+    token = auth.issue_token(alice, [TRANSFER_SCOPE], now=0.0)
+    src_fs, dst_fs = VirtualFS("s"), VirtualFS("d")
+    service = TransferService(
+        env, fabric, auth, RngRegistry(0), latency_sigma=0.0, fault_plan=fault_plan
+    )
+    service.register_endpoint(
+        TransferEndpoint(name="s", host="a", vfs=src_fs, policy=AccessPolicy().allow_write(alice))
+    )
+    service.register_endpoint(
+        TransferEndpoint(name="d", host="b", vfs=dst_fs, policy=AccessPolicy().allow_write(alice))
+    )
+    return env, service, token, src_fs, metrics
+
+
+def test_retry_bytes_counted_once_per_wire_traversal():
+    """Regression: a retransmitted file must hit ``net.bytes_delivered``
+    exactly once per wire traversal — no double counting of the retry,
+    no crediting the partial transient attempt with the full size."""
+
+    class ScriptedPlan(FaultPlan):
+        """Corrupt attempt 1, then clean."""
+
+        def __init__(self):
+            super().__init__(max_attempts=4)
+            object.__setattr__(self, "_calls", [0])
+
+        def draw(self, rng):
+            self._calls[0] += 1
+            return "corrupt" if self._calls[0] == 1 else None
+
+    nbytes = MB(125)
+
+    # Baseline: a clean transfer crosses the wire exactly once.
+    env, service, token, src_fs, metrics = _faulty_world(FaultPlan())
+    src_fs.create("/f", nbytes, created_at=0)
+    service.submit(token, "s", "/f", "d", "/out")
+    env.run()
+    assert metrics.counter("net.bytes_delivered").value == pytest.approx(nbytes)
+
+    # One corrupt attempt: the file crosses the wire exactly twice.
+    env, service, token, src_fs, metrics = _faulty_world(ScriptedPlan())
+    src_fs.create("/f", nbytes, created_at=0)
+    tid = service.submit(token, "s", "/f", "d", "/out")
+    env.run()
+    task = service.task_record(tid)
+    assert task.status is TaskStatus.SUCCEEDED
+    assert task.attempts == 2
+    assert metrics.counter("net.bytes_delivered").value == pytest.approx(2 * nbytes)
+    # The fault ledger matches the attempt count: every non-final
+    # attempt left exactly one fault record.
+    assert len(task.faults) == task.attempts - 1
+
+
+def test_transient_retry_partial_bytes_accounting():
+    """A transient fault burns only the partial fraction on the wire;
+    delivered bytes land strictly between one and two full traversals."""
+
+    class OneTransientPlan(FaultPlan):
+        def __init__(self):
+            super().__init__(max_attempts=4)
+            object.__setattr__(self, "_calls", [0])
+
+        def draw(self, rng):
+            self._calls[0] += 1
+            return "transient" if self._calls[0] == 1 else None
+
+    nbytes = MB(125)
+    env, service, token, src_fs, metrics = _faulty_world(OneTransientPlan())
+    src_fs.create("/f", nbytes, created_at=0)
+    tid = service.submit(token, "s", "/f", "d", "/out")
+    env.run()
+    task = service.task_record(tid)
+    assert task.status is TaskStatus.SUCCEEDED
+    assert task.attempts == 2
+    assert len(task.faults) == 1 and "transient" in task.faults[0]
+    assert metrics.counter("net.streams_started").value == 2  # partial + full
+    delivered = metrics.counter("net.bytes_delivered").value
+    # partial fraction is drawn from [0.05, 0.9] — never free, never full
+    assert nbytes * 1.05 <= delivered <= nbytes * 1.9
