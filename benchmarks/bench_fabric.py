@@ -1,0 +1,72 @@
+"""Fabric scale-out benchmarks: the incremental allocator at load.
+
+Interactive (pytest-benchmark) view of the same scenarios
+``python -m repro bench fabric`` tracks as JSON: many independent
+facilities streaming concurrently — the workload where
+component-restricted reallocation pays — and the all-through-one-hub
+worst case where every stream is fair-share-coupled to every other.
+"""
+
+from __future__ import annotations
+
+from repro.net import NetworkFabric, Topology
+from repro.sim import Environment
+from repro.units import Gbps, MB
+
+
+def _multisite(n_sites: int, per_site: int) -> int:
+    env = Environment()
+    topo = Topology()
+    for s in range(n_sites):
+        topo.add_node(f"inst{s}")
+        topo.add_node(f"sw{s}", kind="switch")
+        topo.add_node(f"stor{s}")
+        topo.add_link(f"inst{s}", f"sw{s}", Gbps(1))
+        topo.add_link(f"sw{s}", f"stor{s}", Gbps(10))
+    fabric = NetworkFabric(env, topo)
+    done = []
+
+    def submit(env, site, i):
+        yield env.timeout(i * 0.05)
+        nbytes = MB(5 + (7 * (site * per_site + i)) % 45)
+        stream = yield fabric.transfer(f"inst{site}", f"stor{site}", nbytes)
+        done.append(stream.stream_id)
+
+    for site in range(n_sites):
+        for i in range(per_site):
+            env.process(submit(env, site, i))
+    env.run()
+    return len(done)
+
+
+def _shared_hub(n_streams: int) -> int:
+    env = Environment()
+    topo = Topology()
+    topo.add_node("hub", kind="switch")
+    n_hosts = 20
+    for h in range(n_hosts):
+        topo.add_node(f"h{h}")
+        topo.add_link(f"h{h}", "hub", Gbps(1))
+    fabric = NetworkFabric(env, topo)
+    done = []
+
+    def submit(env, i):
+        yield env.timeout(i * 0.05)
+        src, dst = f"h{i % n_hosts}", f"h{(i + 7) % n_hosts}"
+        stream = yield fabric.transfer(src, dst, MB(5 + (7 * i) % 45))
+        done.append(stream.stream_id)
+
+    for i in range(n_streams):
+        env.process(submit(env, i))
+    env.run()
+    return len(done)
+
+
+def test_fabric_multisite_scale_out(benchmark):
+    """40 sites x 25 streams: independent components stay independent."""
+    assert benchmark(lambda: _multisite(40, 25)) == 1000
+
+
+def test_fabric_shared_hub_worst_case(benchmark):
+    """200 streams through one switch: one big coupled component."""
+    assert benchmark(lambda: _shared_hub(200)) == 200

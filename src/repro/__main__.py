@@ -20,6 +20,12 @@ Commands
 ``chaos``
     Run a campaign under a named fault-injection scenario and print the
     delivered-vs-dropped breakdown plus the recovery report.
+``sweep``
+    Run a grid of campaign variants across worker processes with a
+    deterministic, submission-ordered merge (parallel == serial).
+``bench``
+    Time the substrate suites (kernel / fabric / campaign) and write
+    ``BENCH_*.json``; ``--check`` gates against the committed baselines.
 """
 
 from __future__ import annotations
@@ -220,6 +226,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if breakdown["still_active"] else 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.sweep import run_sweep_cli
+
+    return run_sweep_cli(args)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import SUITES, run_bench_cli
+
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    return run_bench_cli(
+        suites,
+        output_dir=args.output_dir,
+        check=args.check,
+        baseline_dir=args.baseline_dir,
+        repeat=args.repeat,
+    )
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -316,6 +341,45 @@ def main(argv: "list[str] | None" = None) -> int:
         "--list", action="store_true", help="list available scenarios and exit"
     )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a campaign grid across worker processes (parallel == serial)",
+    )
+    p.add_argument(
+        "grid", nargs="?", default="chaos", choices=["chaos", "campaign"]
+    )
+    p.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated chaos scenarios (default: all)",
+    )
+    p.add_argument("--use-cases", default="hyperspectral")
+    p.add_argument("--seeds", default="0,1")
+    p.add_argument("--duration", type=float, default=3600.0, help="simulated seconds")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: cpu count; 1 = serial)",
+    )
+    p.add_argument(
+        "--output", default=None, help="write outcome payloads to this JSON path"
+    )
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "bench", help="time the substrate suites and write/check BENCH_*.json"
+    )
+    p.add_argument(
+        "suite", nargs="?", default="all",
+        choices=["all", "kernel", "fabric", "campaign"],
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="compare against committed baselines instead of writing",
+    )
+    p.add_argument("--output-dir", default=".")
+    p.add_argument("--baseline-dir", default=".")
+    p.add_argument("--repeat", type=int, default=3)
+    p.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

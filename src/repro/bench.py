@@ -1,0 +1,349 @@
+"""Machine-readable substrate benchmarks: the perf trajectory as data.
+
+``python -m repro bench`` times the three hot layers the scale-up work
+optimizes — the DES kernel, the max–min fair network fabric, and the
+campaign/sweep runner — and emits one JSON file per suite
+(``BENCH_kernel.json``, ``BENCH_fabric.json``, ``BENCH_campaign.json``)
+with ops/s, wall-clock, and peak RSS.  The committed baselines at the
+repository root are the regression gate: ``python -m repro bench
+--check`` re-measures and fails when any throughput metric regresses by
+more than 25% (or a wall-clock metric inflates by the same factor).
+
+These are *substrate* benchmarks: they measure the simulator, not the
+paper's testbed.  The pytest-benchmark files under ``benchmarks/``
+remain the interactive view; this module is the trend line across PRs.
+"""
+
+# repro: noqa-file[D101]  benchmarks measure the wall clock on purpose
+
+from __future__ import annotations
+
+import json
+import os
+import resource as _resource
+import sys
+import time
+from typing import Any, Callable, Optional
+
+from .sim import Environment, Resource, Store
+from .units import Gbps, MB
+
+__all__ = [
+    "SUITES",
+    "check_against_baseline",
+    "run_campaign_bench",
+    "run_fabric_bench",
+    "run_kernel_bench",
+    "run_suite",
+    "write_suite",
+]
+
+#: Regression tolerance for ``--check``: a metric may lose up to this
+#: fraction of its baseline throughput before the gate fails.
+CHECK_TOLERANCE = 0.25
+
+
+def _best_of(fn: Callable[[], Any], repeat: int = 3) -> tuple[float, Any]:
+    """Minimum wall-clock of ``repeat`` runs (first run warms caches)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best, result
+
+
+def _peak_rss_kb() -> int:
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+# -- kernel suite ----------------------------------------------------------
+
+def _kernel_ticker() -> int:
+    """Pure event dispatch: 20 ping-pong processes x 500 timeouts."""
+    env = Environment()
+
+    def ticker(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    for _ in range(20):
+        env.process(ticker(env, 500))
+    env.run()
+    return 20 * 500 + 40  # timeouts + init/terminate events
+
+
+def _kernel_store() -> int:
+    env = Environment()
+    q = Store(env)
+    moved = 2000
+
+    def producer(env):
+        for i in range(moved):
+            yield q.put(i)
+
+    def consumer(env):
+        for _ in range(moved):
+            yield q.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return 2 * moved
+
+
+def _kernel_resource() -> int:
+    env = Environment()
+    res = Resource(env, capacity=4)
+    users = 800
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    for _ in range(users):
+        env.process(user(env))
+    env.run()
+    return 2 * users
+
+
+def run_kernel_bench(repeat: int = 3) -> dict[str, Any]:
+    metrics: dict[str, Any] = {}
+    for name, fn in (
+        ("event_throughput", _kernel_ticker),
+        ("store_pipeline", _kernel_store),
+        ("resource_contention", _kernel_resource),
+    ):
+        wall, n_ops = _best_of(fn, repeat)
+        metrics[name] = {
+            "n_ops": n_ops,
+            "wall_s": wall,
+            "ops_per_s": n_ops / wall,
+        }
+    return metrics
+
+
+# -- fabric suite ----------------------------------------------------------
+
+def _fabric_multisite(n_sites: int, per_site: int) -> Callable[[], int]:
+    """The scale-out scenario: ``n_sites`` facilities, each streaming
+    ``per_site`` concurrent datasets from instrument to site storage.
+
+    Streams at one site share that site's uplink (the allocation
+    couples them); sites are independent — the workload the related
+    facility-streaming work (Welborn et al., Bicer et al.) runs at
+    thousands-of-streams scale.
+    """
+    from .net import NetworkFabric, Topology
+
+    def run() -> int:
+        env = Environment()
+        topo = Topology()
+        for s in range(n_sites):
+            topo.add_node(f"inst{s}")
+            topo.add_node(f"sw{s}", kind="switch")
+            topo.add_node(f"stor{s}")
+            topo.add_link(f"inst{s}", f"sw{s}", Gbps(1))
+            topo.add_link(f"sw{s}", f"stor{s}", Gbps(10))
+        fabric = NetworkFabric(env, topo)
+        done = []
+
+        def submit(env, site, i):
+            yield env.timeout(i * 0.05)
+            nbytes = MB(5 + (7 * (site * per_site + i)) % 45)
+            stream = yield fabric.transfer(f"inst{site}", f"stor{site}", nbytes)
+            done.append(stream.stream_id)
+
+        for site in range(n_sites):
+            for i in range(per_site):
+                env.process(submit(env, site, i))
+        env.run()
+        assert len(done) == n_sites * per_site
+        return len(done)
+
+    return run
+
+
+def _fabric_shared_hub(n_streams: int) -> Callable[[], int]:
+    """Worst case for incrementality: every stream crosses one switch."""
+    from .net import NetworkFabric, Topology
+
+    def run() -> int:
+        env = Environment()
+        topo = Topology()
+        topo.add_node("hub", kind="switch")
+        n_hosts = 20
+        for h in range(n_hosts):
+            topo.add_node(f"h{h}")
+            topo.add_link(f"h{h}", "hub", Gbps(1))
+        fabric = NetworkFabric(env, topo)
+        done = []
+
+        def submit(env, i):
+            yield env.timeout(i * 0.05)
+            src, dst = f"h{i % n_hosts}", f"h{(i + 7) % n_hosts}"
+            stream = yield fabric.transfer(src, dst, MB(5 + (7 * i) % 45))
+            done.append(stream.stream_id)
+
+        for i in range(n_streams):
+            env.process(submit(env, i))
+        env.run()
+        assert len(done) == n_streams
+        return len(done)
+
+    return run
+
+
+def run_fabric_bench(repeat: int = 3, scale: float = 1.0) -> dict[str, Any]:
+    """``scale`` shrinks the scenarios (used to time slow baselines)."""
+    metrics: dict[str, Any] = {}
+    cases = (
+        ("multisite_2000_streams", _fabric_multisite(40, max(1, int(50 * scale)))),
+        ("shared_hub_200_streams", _fabric_shared_hub(max(1, int(200 * scale)))),
+    )
+    for name, fn in cases:
+        wall, n_streams = _best_of(fn, repeat)
+        metrics[name] = {
+            "n_ops": n_streams,
+            "wall_s": wall,
+            "ops_per_s": n_streams / wall,
+        }
+    return metrics
+
+
+# -- campaign suite --------------------------------------------------------
+
+def run_campaign_bench(repeat: int = 3, include_sweep: bool = True) -> dict[str, Any]:
+    from .core import run_campaign
+
+    metrics: dict[str, Any] = {}
+    wall, res = _best_of(
+        lambda: run_campaign("hyperspectral", duration_s=3600.0, seed=1), repeat
+    )
+    metrics["hyperspectral_hour"] = {
+        "n_ops": len(res.completed_runs),
+        "wall_s": wall,
+        "ops_per_s": len(res.completed_runs) / wall,
+    }
+    if include_sweep:
+        from .core.sweep import chaos_grid, run_sweep
+
+        variants = chaos_grid(seeds=(0,), duration_s=1800.0)
+        wall_serial, serial = _best_of(lambda: run_sweep(variants, jobs=1), 1)
+        metrics["chaos_sweep_serial"] = {
+            "n_ops": len(serial),
+            "wall_s": wall_serial,
+            "ops_per_s": len(serial) / wall_serial,
+        }
+        jobs = min(4, os.cpu_count() or 1)
+        if jobs > 1:
+            wall_par, par = _best_of(lambda: run_sweep(variants, jobs=jobs), 1)
+            metrics["chaos_sweep_parallel"] = {
+                "n_ops": len(par),
+                "wall_s": wall_par,
+                "ops_per_s": len(par) / wall_par,
+                "jobs": jobs,
+                "identical_to_serial": [o.payload() for o in par]
+                == [o.payload() for o in serial],
+            }
+    return metrics
+
+
+SUITES: dict[str, Callable[..., dict[str, Any]]] = {
+    "kernel": run_kernel_bench,
+    "fabric": run_fabric_bench,
+    "campaign": run_campaign_bench,
+}
+
+
+def run_suite(name: str, repeat: int = 3) -> dict[str, Any]:
+    """Run one suite and wrap its metrics with environment context."""
+    metrics = SUITES[name](repeat=repeat)
+    return {
+        "suite": name,
+        "metrics": metrics,
+        "peak_rss_kb": _peak_rss_kb(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_suite(payload: dict[str, Any], directory: str = ".") -> str:
+    path = os.path.join(directory, f"BENCH_{payload['suite']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def check_against_baseline(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = CHECK_TOLERANCE,
+) -> list[str]:
+    """Compare a fresh measurement against a committed baseline.
+
+    Returns a list of human-readable regression descriptions (empty
+    means the gate passes).  Only throughput (``ops_per_s``) gates;
+    peak RSS is reported but informational — it depends on allocator
+    and interpreter details the repo does not control.
+    """
+    problems: list[str] = []
+    base_metrics = baseline.get("metrics", {})
+    for name, cur in current.get("metrics", {}).items():
+        base = base_metrics.get(name)
+        if base is None:
+            continue  # new metric: no baseline yet
+        floor = base["ops_per_s"] * (1.0 - tolerance)
+        if cur["ops_per_s"] < floor:
+            problems.append(
+                f"{current['suite']}.{name}: {cur['ops_per_s']:.0f} ops/s "
+                f"< {floor:.0f} (baseline {base['ops_per_s']:.0f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    for name in base_metrics:
+        if name not in current.get("metrics", {}):
+            problems.append(f"{current['suite']}.{name}: metric disappeared")
+    return problems
+
+
+def run_bench_cli(
+    suites: "list[str]",
+    output_dir: str,
+    check: bool,
+    baseline_dir: str,
+    repeat: int = 3,
+) -> int:
+    """The ``python -m repro bench`` entry point."""
+    failures: list[str] = []
+    for name in suites:
+        payload = run_suite(name, repeat=repeat)
+        for metric, vals in sorted(payload["metrics"].items()):
+            print(
+                f"{name:>8s}.{metric:<24s} {vals['ops_per_s']:>12.0f} ops/s  "
+                f"(wall {vals['wall_s'] * 1e3:8.2f} ms)"
+            )
+        print(f"{name:>8s}.peak_rss_kb             {payload['peak_rss_kb']:>12d}")
+        if check:
+            base_path = os.path.join(baseline_dir, f"BENCH_{name}.json")
+            if not os.path.exists(base_path):
+                failures.append(f"{name}: no baseline at {base_path}")
+                continue
+            with open(base_path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            failures.extend(check_against_baseline(payload, baseline))
+        else:
+            path = write_suite(payload, output_dir)
+            print(f"wrote {path}")
+    if check:
+        if failures:
+            print("\nREGRESSIONS (>25% below committed baseline):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("\nbench --check: all metrics within tolerance of baselines")
+    return 0

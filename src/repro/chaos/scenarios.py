@@ -122,6 +122,8 @@ def run_chaos_campaign(
     duration_s: float = hours(1),
     seed: int = 0,
     obs: bool = False,
+    tiebreak: str = "fifo",
+    trace: bool = False,
 ):
     """Run a campaign under ``plan`` and drain it to quiescence.
 
@@ -138,7 +140,8 @@ def run_chaos_campaign(
     if isinstance(plan, str):
         plan = scenario(plan)
     result = run_campaign(
-        use_case, duration_s=duration_s, seed=seed, chaos=plan, obs=obs
+        use_case, duration_s=duration_s, seed=seed, chaos=plan, obs=obs,
+        tiebreak=tiebreak, trace=trace,
     )
     env = result.testbed.env
     env.run()  # drain in-flight work past the campaign window

@@ -73,6 +73,13 @@ class CampaignResult:
         return self.app.runs
 
     @property
+    def trace(self):
+        """The attached :class:`~repro.sim.trace.EventTraceRecorder`
+        (``trace=True`` campaigns), else None."""
+        hook = self.testbed.env._trace_hook
+        return getattr(hook, "__self__", None)
+
+    @property
     def completed_runs(self) -> list[FlowRun]:
         return self.app.completed_runs
 
@@ -98,6 +105,7 @@ def run_campaign(
     tiebreak: str = "fifo",
     obs: bool = False,
     chaos: ChaosPlan = NO_CHAOS,
+    trace: bool = False,
 ) -> CampaignResult:
     """Run one use case for ``duration_s`` simulated seconds.
 
@@ -120,6 +128,11 @@ def run_campaign(
     armed before the clock starts (find it at ``result.chaos``).  The
     default :data:`~repro.chaos.NO_CHAOS` builds nothing and leaves the
     campaign bit-identical to a chaos-unaware one.
+
+    ``trace=True`` attaches an
+    :class:`~repro.sim.trace.EventTraceRecorder` before the clock starts
+    (find it at ``result.trace``) — the step-level event trace behind
+    the golden-trace bit-identity suite.
     """
     from .extensions import (
         CompressionSpec,
@@ -132,6 +145,10 @@ def run_campaign(
     if isinstance(use_case, str):
         use_case = use_case_by_name(use_case)
     env = Environment(sanitize=sanitize, tiebreak=tiebreak)
+    if trace:
+        from ..sim.trace import EventTraceRecorder
+
+        EventTraceRecorder(env)
     chaos_on = chaos.enabled
     if chaos_on and chaos.transfer_faults is not NO_FAULTS:
         fault_plan = chaos.transfer_faults

@@ -1,0 +1,144 @@
+"""Golden-trace capture: the bit-identity contract for perf work.
+
+Every optimization of the DES kernel or the network fabric is gated on
+*bit-identity*: the optimized code must reproduce — byte for byte — the
+step-level event trace, the run/step transition trace, the span stream,
+and the Table 1 / Fig. 4 numbers of the implementation it replaced, for
+the shipped campaigns, under both the ``fifo`` and ``lifo`` same-tick
+tie-breaks.
+
+This module captures one campaign's full observable fingerprint into a
+JSON payload and round-trips it through reproducible gzip files.  The
+checked-in goldens under ``tests/goldens/`` were recorded on the
+pre-optimization paths; ``tests/test_golden_traces.py`` replays each
+campaign on the current code and compares.
+
+Regenerate (only when campaign *behaviour* legitimately changes)::
+
+    PYTHONPATH=src python -c "from repro.core.goldens import record_all; \\
+        record_all('tests/goldens')"
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+from dataclasses import asdict
+from typing import Any
+
+__all__ = [
+    "GOLDEN_SPECS",
+    "capture_golden",
+    "golden_filename",
+    "read_golden",
+    "record_all",
+    "write_golden",
+]
+
+#: The shipped campaign set the bit-identity gate covers: both Sec. 3.3
+#: use cases clean, plus one chaos scenario, for three seeds and both
+#: same-tick tie-breaks.  Each spec is ``(kind, use_case, seed,
+#: tiebreak)`` where ``kind`` is ``"campaign"`` or a chaos scenario name.
+GOLDEN_SPECS: tuple[tuple[str, str, int, str], ...] = tuple(
+    (kind, uc, seed, tiebreak)
+    for kind, uc in (
+        ("campaign", "hyperspectral"),
+        ("campaign", "spatiotemporal"),
+        ("outage", "hyperspectral"),
+    )
+    for seed in (1, 2, 3)
+    for tiebreak in ("fifo", "lifo")
+)
+
+
+def golden_filename(kind: str, use_case: str, seed: int, tiebreak: str) -> str:
+    return f"{kind}-{use_case}-s{seed}-{tiebreak}.json.gz"
+
+
+def capture_golden(
+    kind: str,
+    use_case: str,
+    seed: int,
+    tiebreak: str,
+    duration_s: float = 3600.0,
+) -> dict[str, Any]:
+    """Run one shipped campaign and capture its full fingerprint."""
+    from ..chaos import delivery_breakdown, run_chaos_campaign
+    from ..obs import spans_to_jsonl
+    from .campaign import run_campaign
+    from .sanitize import campaign_trace
+    from .stats import fig4_samples
+
+    if kind == "campaign":
+        res = run_campaign(
+            use_case,
+            duration_s=duration_s,
+            seed=seed,
+            tiebreak=tiebreak,
+            obs=True,
+            trace=True,
+        )
+        breakdown = None
+    else:
+        res = run_chaos_campaign(
+            kind,
+            use_case=use_case,
+            duration_s=duration_s,
+            seed=seed,
+            obs=True,
+            tiebreak=tiebreak,
+            trace=True,
+        )
+        breakdown = delivery_breakdown(res)
+    recorder = res.trace
+    assert recorder is not None
+    spans_text = spans_to_jsonl(res.testbed.obs.tracer.spans)
+    payload: dict[str, Any] = {
+        "meta": {
+            "kind": kind,
+            "use_case": use_case,
+            "seed": seed,
+            "tiebreak": tiebreak,
+            "duration_s": duration_s,
+        },
+        "events": recorder.lines,
+        "campaign_trace": campaign_trace(res),
+        "table1": asdict(res.table1()),
+        "fig4": fig4_samples(res.runs),
+        "n_spans": len(res.testbed.obs.tracer.spans),
+        "spans_sha256": hashlib.sha256(spans_text.encode("utf-8")).hexdigest(),
+    }
+    if breakdown is not None:
+        payload["breakdown"] = breakdown
+    return payload
+
+
+def write_golden(path: str, payload: dict[str, Any]) -> None:
+    """Write a reproducible (mtime-free) gzip JSON golden."""
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    buf = io.BytesIO()
+    with gzip.GzipFile(filename="", mode="wb", fileobj=buf, mtime=0) as gz:
+        gz.write(raw)
+    with open(path, "wb") as fh:
+        fh.write(buf.getvalue())
+
+
+def read_golden(path: str) -> dict[str, Any]:
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def record_all(directory: str) -> list[str]:
+    """Capture every :data:`GOLDEN_SPECS` entry into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for kind, use_case, seed, tiebreak in GOLDEN_SPECS:
+        payload = capture_golden(kind, use_case, seed, tiebreak)
+        path = os.path.join(directory, golden_filename(kind, use_case, seed, tiebreak))
+        write_golden(path, payload)
+        written.append(path)
+        print(f"recorded {path}: {len(payload['events'])} events")
+    return written

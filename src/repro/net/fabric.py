@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from ..errors import EndpointError
 from ..obs.metrics import NULL_METRICS
@@ -114,6 +114,24 @@ class NetworkFabric:
         self._m_bytes = m.counter("net.bytes_delivered")
         self._m_active = m.gauge("net.active_streams")
         self._streams: dict[int, Stream] = {}
+        #: Link key -> set of active stream ids crossing it.  The index
+        #: behind component-restricted reallocation: a membership or
+        #: link-health change only recomputes the connected component
+        #: (streams coupled through shared links) it touches.
+        self._users: dict[tuple[str, str], set[int]] = {}
+        #: (src, dst) -> insertion-ordered {sid: Stream}; makes
+        #: :meth:`throughput` proportional to the pair's streams, not
+        #: the whole fabric, while preserving the summation order of
+        #: the old full scan (both are admission-ordered).
+        self._by_pair: dict[tuple[str, str], dict[int, Stream]] = {}
+        #: Cached :attr:`active_streams` view; None after membership
+        #: changes.  Admission order is ascending stream_id, so the
+        #: rebuild's sort is a no-op pass over an already-sorted dict.
+        self._active_cache: Optional[list[Stream]] = []
+        #: Timestamp of the last full settle; settling twice at one
+        #: timestamp is arithmetically the identity (zero elapsed time),
+        #: so repeat calls return immediately.
+        self._last_settle: Optional[float] = None
         self._ids = itertools.count(1)
         self._wake: Optional[Event] = None
         #: Link key -> health scale in [0, 1]; absent means healthy.
@@ -167,13 +185,24 @@ class NetworkFabric:
 
     @property
     def active_streams(self) -> list[Stream]:
-        return sorted(self._streams.values(), key=lambda s: s.stream_id)
+        """Active streams ordered by stream id.
+
+        The list is a cached view rebuilt only after membership changes;
+        treat it as read-only.
+        """
+        cache = self._active_cache
+        if cache is None:
+            cache = self._active_cache = sorted(
+                self._streams.values(), key=lambda s: s.stream_id
+            )
+        return cache
 
     def throughput(self, src: str, dst: str) -> float:
         """Aggregate current rate (bytes/s) of active src→dst streams."""
-        return sum(
-            s.rate for s in self._streams.values() if s.src == src and s.dst == dst
-        )
+        pair = self._by_pair.get((src, dst))
+        if not pair:
+            return 0.0
+        return sum(s.rate for s in pair.values())
 
     def set_link_health(self, a: str, b: str, scale: float) -> None:
         """Scale the ``a``–``b`` link's capacity by ``scale`` in [0, 1].
@@ -192,7 +221,7 @@ class NetworkFabric:
         else:
             self._link_scale[link.key] = float(scale)
         if self._streams:
-            self._reallocate()
+            self._reallocate(self._users.get(link.key, ()))
             self._kick()
 
     def link_health(self, a: str, b: str) -> float:
@@ -208,35 +237,88 @@ class NetworkFabric:
             stream.done.succeed(stream)
             return
         stream.last_update = self.env.now
-        self._streams[stream.stream_id] = stream
+        sid = stream.stream_id
+        self._streams[sid] = stream
+        for link in stream.links:
+            self._users.setdefault(link.key, set()).add(sid)
+        self._by_pair.setdefault((stream.src, stream.dst), {})[sid] = stream
+        self._active_cache = None
         self._m_active.set(len(self._streams))
-        self._reallocate()
+        self._reallocate((sid,))
         self._kick()
 
-    def _capacities(self) -> dict[tuple[str, str], float]:
-        caps: dict[tuple[str, str], float] = {}
-        for s in self._streams.values():
-            for link in s.links:
-                caps[link.key] = link.capacity_bps * self._link_scale.get(
-                    link.key, 1.0
-                )
-        return caps
-
     def _settle(self) -> None:
-        """Account bytes moved since each stream's last update."""
+        """Account bytes moved since each stream's last update.
+
+        A repeat call at the same timestamp is skipped outright: with
+        zero elapsed time the accrual is ``remaining - rate * 0`` — the
+        arithmetic identity — so the skip cannot change any value.
+        """
         now = self.env.now
+        if now == self._last_settle:
+            return
         for s in self._streams.values():
             if s.rate > 0:
                 s.remaining_bytes = max(
                     0.0, s.remaining_bytes - s.rate * (now - s.last_update)
                 )
             s.last_update = now
+        self._last_settle = now
 
-    def _reallocate(self) -> None:
+    def _component(self, seeds: "Iterable[int]") -> list[Stream]:
+        """Every active stream fair-share-coupled to ``seeds``.
+
+        Breadth-first over the per-link user index: two streams are
+        coupled when they share a link, directly or transitively.
+        Returned in ascending stream-id order — identical to the
+        relative order the old full-fabric scan presented to
+        :func:`max_min_fair_rates` (ids are assigned in admission
+        order), so link tie-breaking inside the allocator is preserved
+        bit for bit.
+        """
+        comp: set[int] = set()
+        stack = [sid for sid in seeds if sid in self._streams]
+        streams = self._streams
+        users = self._users
+        while stack:
+            sid = stack.pop()
+            if sid in comp:
+                continue
+            comp.add(sid)
+            for link in streams[sid].links:
+                for other in users[link.key]:
+                    if other not in comp:
+                        stack.append(other)
+        return [streams[sid] for sid in sorted(comp)]
+
+    def _reallocate(self, seeds: "Iterable[int] | None" = None) -> None:
+        """Settle, then recompute fair shares.
+
+        With ``seeds`` (stream ids whose membership, size, or link
+        health changed) only their connected component is recomputed.
+        Progressive filling decomposes exactly across components — a
+        link's residual capacity evolves only through freezes of its
+        own users, and the freeze order *within* a component is
+        independent of how other components interleave — so the
+        restricted recomputation reproduces the global allocation's
+        floats bit for bit.  ``None`` recomputes everything (the
+        pre-index behaviour).
+        """
         self._settle()
-        rates = max_min_fair_rates(list(self._streams.values()), self._capacities())
-        for sid, s in self._streams.items():
-            s.rate = rates.get(sid, 0.0)
+        if seeds is None:
+            comp = list(self._streams.values())
+        else:
+            comp = self._component(seeds)
+            if not comp:
+                return
+        caps: dict[tuple[str, str], float] = {}
+        scale = self._link_scale
+        for s in comp:
+            for link in s.links:
+                caps[link.key] = link.capacity_bps * scale.get(link.key, 1.0)
+        rates = max_min_fair_rates(comp, caps)
+        for s in comp:
+            s.rate = rates.get(s.stream_id, 0.0)
 
     def _kick(self) -> None:
         """Wake the scheduler after membership/allocation changes."""
@@ -245,13 +327,23 @@ class NetworkFabric:
             self._wake = None
 
     def _run(self):
+        inf = float("inf")
         while True:
             if not self._streams:
                 self._wake = self.env.event()
                 yield self._wake
                 continue
-            dt = min(s.eta for s in self._streams.values())
-            if dt == float("inf"):
+            # Inlined ``min(s.eta for ...)``: one pass, no property
+            # dispatch per stream.  Same expression, same order, same
+            # minimum.
+            dt = inf
+            for s in self._streams.values():
+                rate = s.rate
+                if rate > _EPS_RATE:
+                    eta = s.remaining_bytes / rate
+                    if eta < dt:
+                        dt = eta
+            if dt == inf:
                 if not self._link_scale:
                     # No degraded links: a zero-rate admitted stream is a
                     # fabric bug, not a stall — fail loudly.
@@ -266,23 +358,60 @@ class NetworkFabric:
             timer = self.env.timeout(dt)
             yield self.env.any_of([timer, wake])
             if self._wake is wake and not wake.triggered:
-                # Timer fired: complete streams that drained.
+                # Timer fired: settle and collect the drained streams in
+                # one fused pass (same per-stream arithmetic and order
+                # as settle-then-scan).
                 self._wake = None
-                self._settle()
-                finished = [
-                    s
-                    for s in self._streams.values()
-                    if s.remaining_bytes <= _EPS_BYTES
-                ]
+                now = self.env.now
+                finished = []
+                if now == self._last_settle:
+                    # Zero-elapsed settle is the identity for every
+                    # finite rate; an infinite rate (same-host stream)
+                    # must still drain, as the full settle's
+                    # ``inf * 0 -> nan -> max(0, nan) = 0`` arithmetic
+                    # would have done.
+                    for s in self._streams.values():
+                        if s.rate == inf:
+                            s.remaining_bytes = 0.0
+                        if s.remaining_bytes <= _EPS_BYTES:
+                            finished.append(s)
+                else:
+                    for s in self._streams.values():
+                        rate = s.rate
+                        if rate > 0:
+                            s.remaining_bytes = max(
+                                0.0,
+                                s.remaining_bytes - rate * (now - s.last_update),
+                            )
+                        s.last_update = now
+                        if s.remaining_bytes <= _EPS_BYTES:
+                            finished.append(s)
+                    self._last_settle = now
+                # Batched removal: one index update and (below) one
+                # component-restricted reallocation for the whole
+                # same-tick completion batch.
+                users = self._users
+                seeds: set[int] = set()
                 for s in finished:
                     del self._streams[s.stream_id]
+                    del self._by_pair[(s.src, s.dst)][s.stream_id]
+                    for link in s.links:
+                        key = link.key
+                        remaining = users[key]
+                        remaining.discard(s.stream_id)
+                        if remaining:
+                            seeds |= remaining
+                        else:
+                            del users[key]
+                if finished:
+                    self._active_cache = None
                 self._m_active.set(len(self._streams))
                 for s in finished:
                     self._m_bytes.inc(s.total_bytes)
                     s.span.set("status", "done").finish()
                     s.done.succeed(s)
                 if self._streams:
-                    self._reallocate()
+                    self._reallocate(seeds)
             else:
                 # New stream admitted mid-flight: rates are already
                 # updated, but the per-iteration timer is now stale —

@@ -21,12 +21,14 @@ from .core import (
 from .realtime import RealtimeEnvironment
 from .resources import Request, Resource, Store
 from .sanitize import RaceReport, ScheduleSanitizer
+from .trace import EventTraceRecorder
 
 __all__ = [
     "Environment",
     "RealtimeEnvironment",
     "ScheduleSanitizer",
     "RaceReport",
+    "EventTraceRecorder",
     "Event",
     "Timeout",
     "Process",

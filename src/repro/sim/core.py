@@ -32,6 +32,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
@@ -83,7 +84,7 @@ class Event:
     → *processed* (callbacks ran).  Callbacks receive the event itself.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled", "_skey")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -125,7 +126,16 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=NORMAL)
+        # Inlined ``env.schedule(self, priority=NORMAL)``: succeed() is
+        # the hottest scheduling call in flow-heavy campaigns (stores,
+        # resources, conditions, process termination), and a delay-0
+        # NORMAL event always lands on the immediate lane.
+        env = self.env
+        seq = env._seq
+        env._seq = seq + 1
+        env._lane_normal_append((env._now, NORMAL, env._tiebreak_sign * seq, self))
+        if env.sanitizer is not None:
+            env.sanitizer.on_schedule(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -166,6 +176,10 @@ class Timeout(Event):
         env.schedule(self, delay=self.delay, priority=NORMAL)
 
 
+#: Pre-bound allocator for :meth:`Environment.timeout`'s inlined path.
+_new_timeout = Timeout.__new__
+
+
 class Initialize(Event):
     """Internal: first resumption of a newly created process."""
 
@@ -175,7 +189,7 @@ class Initialize(Event):
         super().__init__(env)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         env.schedule(self, priority=URGENT)
 
 
@@ -184,13 +198,17 @@ class Process(Event):
     underlying generator returns (value = the generator's return value) or
     raises (failure)."""
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process() requires a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        # One bound method for the process's lifetime: _resume is
+        # re-registered on every yield, and binding it fresh each time
+        # is a per-event allocation.
+        self._resume_cb: Callable[[Event], None] = self._resume
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -229,57 +247,73 @@ class Process(Event):
         # stale event cannot resume it a second time.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._resume(event)
 
-    def _resume(self, event: Event) -> None:
-        """Advance the generator with ``event``'s value."""
-        if self._value is not PENDING:
+    def _resume(self, event: Event, _PENDING=PENDING, _Event=Event) -> None:
+        """Advance the generator with ``event``'s value.
+
+        (The ``_PENDING``/``_Event`` defaults localize module globals —
+        this runs once per dispatched event.)
+        """
+        if self._value is not _PENDING:
             return  # stale wakeup of a terminated process
-        self.env._active_process = self
-        self._target = None
+        env = self.env
+        env._active_process = self
+        gen = self._generator
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = gen.send(event._value)
                 else:
                     # The awaited event failed: throw into the generator.
-                    event.defused()
-                    next_target = self._generator.throw(event._value)
+                    event._defused = True
+                    next_target = gen.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                self.env.schedule(self, priority=NORMAL)
+                self._target = None
+                env.schedule(self, priority=NORMAL)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env.schedule(self, priority=NORMAL)
+                self._target = None
+                env.schedule(self, priority=NORMAL)
                 break
 
-            if not isinstance(next_target, Event) or next_target.env is not self.env:
+            if not isinstance(next_target, _Event) or next_target.env is not env:
                 # Deliver the misuse error at the same yield point.
                 msg = (
                     f"process yielded a non-event: {next_target!r}"
                     if not isinstance(next_target, Event)
                     else "cannot yield an event from another environment"
                 )
-                fake = Event(self.env)
+                fake = Event(env)
                 fake._ok = False
                 fake._value = SimulationError(msg)
                 fake._defused = True
                 event = fake
                 continue
-            if next_target.processed:
+            callbacks = next_target.callbacks
+            if callbacks is None:
                 # Already fired: loop immediately with its value.
                 event = next_target
                 continue
-            next_target.callbacks.append(self._resume)
+            callbacks.append(self._resume_cb)
             self._target = next_target
             break
-        self.env._active_process = None
+        env._active_process = None
+
+
+def _defuse_stale(event: Event) -> None:
+    """Left behind on a fired condition's unfired constituents: defuse a
+    late failure (so it cannot crash the run) without retaining any
+    reference to the condition itself."""
+    if not event._ok:
+        event._defused = True
 
 
 class Condition(Event):
@@ -288,6 +322,14 @@ class Condition(Event):
 
     Succeeds with a dict mapping each *fired* constituent event to its
     value, in the order the constituents were given.
+
+    Once the condition triggers, its ``_check`` callback is detached
+    from every still-pending constituent and replaced by the
+    module-level :func:`_defuse_stale` — late failures stay defused, but
+    the constituents no longer pin the condition (and everything its
+    result dict references) in memory.  An ``AnyOf`` over one short and
+    one long timer would otherwise keep the fired condition alive until
+    the long timer drains.
     """
 
     __slots__ = ("_events", "_evaluate", "_count")
@@ -311,24 +353,45 @@ class Condition(Event):
         for e in self._events:
             if e.processed:
                 self._check(e)
+            elif self._value is not PENDING:
+                # Triggered by an earlier constituent mid-loop: watch the
+                # rest only for failures to defuse.
+                e.callbacks.append(_defuse_stale)
             else:
                 e.callbacks.append(self._check)
 
     def _collect(self) -> dict[Event, Any]:
         return {e: e._value for e in self._events if e.processed and e._ok}
 
+    def _detach_pending(self) -> None:
+        """Swap ``_check`` for :func:`_defuse_stale` on unfired
+        constituents (bound-method equality makes ``remove`` work)."""
+        check = self._check
+        for e in self._events:
+            cbs = e.callbacks
+            if cbs is not None:
+                try:
+                    cbs.remove(check)
+                except ValueError:
+                    continue
+                cbs.append(_defuse_stale)
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
+            # Stale call (constituent fired in the same tick the
+            # condition triggered, before detach could see it).
             if not event._ok:
-                event.defused()
+                event._defused = True
             return
         if not event._ok:
-            event.defused()
+            event._defused = True
             self.fail(event._value)
-            return
-        self._count += 1
-        if self._evaluate(self._count, len(self._events)):
+        else:
+            self._count += 1
+            if not self._evaluate(self._count, len(self._events)):
+                return
             self.succeed(self._collect())
+        self._detach_pending()
 
 
 class AllOf(Condition):
@@ -385,10 +448,56 @@ class Environment:
                 f"tiebreak must be 'fifo' or 'lifo', got {tiebreak!r}"
             )
         self._now = float(initial_time)
+        # The queue is split three ways by traffic class, preserving the
+        # single total order (time, priority, tiebreak_sign * seq) the
+        # old one-heap design had:
+        #
+        # * ``_queue`` — a 4-tuple heap, now only for *exotic* entries:
+        #   future URGENT events (the run-until stop event) and any
+        #   priority outside {URGENT, NORMAL}.  Near-empty in practice.
+        # * ``_lane_urgent`` / ``_lane_normal`` — deques of delay-0
+        #   events (the dominant traffic: every succeed()/fail()/
+        #   process-termination).  Invariant: dispatch always pops the
+        #   global minimum, so time cannot advance while a lane is
+        #   non-empty — all lane entries share the current timestamp,
+        #   and within a lane the (priority, seq) key is monotone in
+        #   append order.  fifo reads from the left end, lifo from the
+        #   right.
+        # * ``_buckets``/``_times`` — the timer store: NORMAL events
+        #   with delay > 0 are grouped into per-timestamp buckets
+        #   (``{time: [event, ...]}``, append order = seq order; the
+        #   tie-break key rides on the event's ``_skey`` slot, saving a
+        #   tuple per timer), with a heap over the *distinct* times.  Timestamps
+        #   in simulated campaigns repeat heavily (synchronized ticks,
+        #   common periods), so heap traffic drops from one push+pop of
+        #   a 4-tuple per event to one push+pop of a bare float per
+        #   distinct timestamp.  Bucketing by exact float equality is
+        #   the same equivalence the heap's tuple comparison applied, so
+        #   the dispatch order is bit-identical.
+        # * ``_cur``/``_cur_idx`` — the bucket currently being drained
+        #   (its time == ``_now``); ``_cur_idx`` is the fifo read
+        #   cursor (lifo consumes from the right with ``pop()``).
         self._queue: list[tuple[float, int, int, Event]] = []
+        self._lane_urgent: deque[tuple[float, int, int, Event]] = deque()
+        self._lane_normal: deque[tuple[float, int, int, Event]] = deque()
+        self._buckets: dict[float, list[Event]] = {}
+        self._times: list[float] = []
+        self._cur: Optional[list[Event]] = None
+        self._cur_idx = 0
+        # Pre-bound hot-path methods (the containers are only ever
+        # mutated in place, never replaced, so these stay valid).
+        self._lane_normal_append = self._lane_normal.append
+        self._buckets_get = self._buckets.get
+        #: Set once any entry with a priority outside {URGENT, NORMAL}
+        #: is scheduled; the fast drain falls back to the general pop
+        #: path so such entries keep their exact ordering.
+        self._has_exotic = False
         self._seq = 0
         self._cancelled_count = 0
         self._active_process: Optional[Process] = None
+        #: Optional ``(now, priority, event)`` callable invoked as each
+        #: event is dispatched (see :mod:`repro.sim.trace`).
+        self._trace_hook: Optional[Callable[[float, int, "Event"], None]] = None
         self.tiebreak = tiebreak
         self._tiebreak_sign = 1 if tiebreak == "fifo" else -1
         if sanitize:
@@ -415,16 +524,110 @@ class Environment:
         while queue and queue[0][3]._cancelled:
             heapq.heappop(queue)
             self._cancelled_count -= 1
-        return queue[0][0] if queue else float("inf")
+        best = queue[0][0] if queue else float("inf")
+        fifo = self._tiebreak_sign == 1
+        for lane in (self._lane_urgent, self._lane_normal):
+            while lane and (lane[0] if fifo else lane[-1])[3]._cancelled:
+                if fifo:
+                    lane.popleft()
+                else:
+                    lane.pop()
+                self._cancelled_count -= 1
+            if lane:
+                t = (lane[0] if fifo else lane[-1])[0]
+                if t < best:
+                    best = t
+        cur = self._cur
+        if cur is not None:
+            if fifo:
+                idx = self._cur_idx
+                while idx < len(cur) and cur[idx]._cancelled:
+                    idx += 1
+                    self._cancelled_count -= 1
+                self._cur_idx = idx
+                if idx >= len(cur):
+                    self._cur = None
+                elif self._now < best:
+                    best = self._now
+            else:
+                while cur and cur[-1]._cancelled:
+                    cur.pop()
+                    self._cancelled_count -= 1
+                if not cur:
+                    self._cur = None
+                elif self._now < best:
+                    best = self._now
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            while bucket and (bucket[0] if fifo else bucket[-1])._cancelled:
+                if fifo:
+                    del bucket[0]
+                else:
+                    bucket.pop()
+                self._cancelled_count -= 1
+            if bucket:
+                if t < best:
+                    best = t
+                break
+            heapq.heappop(times)
+            del buckets[t]
+        return best
 
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
         """A fresh, untriggered event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
+    def timeout(
+        self,
+        delay: float,
+        value: Any = None,
+        # Private defaults: module/builtin lookups hoisted to definition
+        # time for the kernel's hottest factory.
+        _new=_new_timeout,
+        _Timeout=Timeout,
+        _float=float,
+        _heappush=heapq.heappush,
+    ) -> Timeout:
         """An event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        # Inlined construction: timeout() is the kernel's hottest factory
+        # (every simulated wait), so skip the Event.__init__ super-call
+        # chain and the schedule() indirection.  Timeout(...) remains the
+        # equivalent spelled-out path for direct constructor use.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        ev = _new(_Timeout)
+        ev.env = self
+        ev.callbacks = []
+        ev._ok = True
+        ev._value = value
+        ev._defused = False
+        ev._cancelled = False
+        ev.delay = delay = delay if delay.__class__ is _float else _float(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        t = self._now + delay
+        if t == self._now:
+            # delay == 0, or small enough to underflow the addition:
+            # either way the event fires at the current timestamp, which
+            # is exactly what the immediate lane holds (a ``t == now``
+            # bucket would escape the bucket-drain's preemption checks
+            # under the lifo tie-break).
+            self._lane_normal_append((t, NORMAL, self._tiebreak_sign * seq, ev))
+        else:
+            ev._skey = self._tiebreak_sign * seq
+            bucket = self._buckets_get(t)
+            if bucket is None:
+                self._buckets[t] = [ev]
+                _heappush(self._times, t)
+            else:
+                bucket.append(ev)
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(ev)
+        return ev
 
     def process(self, generator: Generator) -> Process:
         """Start a process from ``generator``."""
@@ -441,13 +644,44 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Schedule ``event`` to fire ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, self._tiebreak_sign * self._seq, event),
-        )
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0 and (priority == NORMAL or priority == URGENT):
+            # Immediate lane: same (time, priority, seq) key the heap
+            # would assign, minus the heap.
+            entry = (self._now, priority, self._tiebreak_sign * seq, event)
+            if priority == NORMAL:
+                self._lane_normal.append(entry)
+            else:
+                self._lane_urgent.append(entry)
+        elif priority == NORMAL:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            # Timer store: bucket by exact target timestamp.  A delay
+            # small enough to underflow (t == now) belongs on the
+            # immediate lane, like timeout().
+            t = self._now + delay
+            if t == self._now:
+                self._lane_normal.append(
+                    (t, NORMAL, self._tiebreak_sign * seq, event)
+                )
+            else:
+                event._skey = self._tiebreak_sign * seq
+                bucket = self._buckets.get(t)
+                if bucket is None:
+                    self._buckets[t] = [event]
+                    heapq.heappush(self._times, t)
+                else:
+                    bucket.append(event)
+        else:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            if priority != URGENT:
+                self._has_exotic = True
+            heapq.heappush(
+                self._queue,
+                (self._now + delay, priority, self._tiebreak_sign * seq, event),
+            )
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(event)
 
@@ -471,11 +705,55 @@ class Environment:
             return
         event._cancelled = True
         self._cancelled_count += 1
-        # Compact once tombstones dominate: O(live) amortized.
-        if self._cancelled_count > 8 and self._cancelled_count * 2 > len(self._queue):
-            self._queue = [e for e in self._queue if not e[3]._cancelled]
-            heapq.heapify(self._queue)
-            self._cancelled_count = 0
+        if self._cancelled_count > 8 and self._cancelled_count * 2 > self._n_pending():
+            self._compact()
+
+    def _n_pending(self) -> int:
+        """Total scheduled-but-undispatched entries, tombstones included."""
+        n = len(self._queue) + len(self._lane_urgent) + len(self._lane_normal)
+        if self._buckets:
+            n += sum(map(len, self._buckets.values()))
+        cur = self._cur
+        if cur is not None:
+            n += len(cur)
+            if self._tiebreak_sign == 1:
+                n -= self._cur_idx
+        return n
+
+    def _compact(self) -> None:
+        """Drop tombstones from every structure: O(live) amortized.
+        All filtering is in-place (``[:] =`` / ``clear``+``extend``) so
+        local references held by the fast run loop stay valid across a
+        compaction triggered from inside a callback."""
+        self._queue[:] = [e for e in self._queue if not e[3]._cancelled]
+        heapq.heapify(self._queue)
+        for lane in (self._lane_urgent, self._lane_normal):
+            if lane:
+                live = [e for e in lane if not e[3]._cancelled]
+                lane.clear()
+                lane.extend(live)
+        buckets = self._buckets
+        if buckets:
+            dead_times = []
+            for t, bucket in buckets.items():
+                bucket[:] = [e for e in bucket if not e._cancelled]
+                if not bucket:
+                    dead_times.append(t)
+            if dead_times:
+                for t in dead_times:
+                    del buckets[t]
+                self._times[:] = buckets.keys()
+                heapq.heapify(self._times)
+        cur = self._cur
+        if cur is not None:
+            if self._tiebreak_sign == 1:
+                # Filter only the unread tail; the fifo cursor (local
+                # copies included) stays valid.
+                idx = self._cur_idx
+                cur[idx:] = [e for e in cur[idx:] if not e._cancelled]
+            else:
+                cur[:] = [e for e in cur if not e._cancelled]
+        self._cancelled_count = 0
 
     def touch(self, obj: Any, mode: str = "r", label: Optional[str] = None) -> None:
         """Report a shared-state access to the schedule sanitizer.
@@ -488,22 +766,178 @@ class Environment:
         if self.sanitizer is not None:
             self.sanitizer.touch(obj, mode, label)
 
+    def _open_bucket(self) -> Optional[tuple[float, int, int, Event]]:
+        """Pop the head of the *earliest* timer bucket, installing any
+        remainder as the current bucket.
+
+        Returns None when the timer store is empty, or when the
+        earliest bucket held only tombstones (it is dropped; the caller
+        must re-decide against the exotic heap, whose top may now come
+        first — skipping ahead here would leapfrog it)."""
+        fifo = self._tiebreak_sign == 1
+        times = self._times
+        if not times:
+            return None
+        t = heapq.heappop(times)
+        bucket = self._buckets.pop(t)
+        if fifo:
+            idx = 0
+            n = len(bucket)
+            while idx < n and bucket[idx]._cancelled:
+                idx += 1
+                self._cancelled_count -= 1
+            if idx >= n:
+                return None
+            event = bucket[idx]
+            if idx + 1 < n:
+                self._cur = bucket
+                self._cur_idx = idx + 1
+        else:
+            while bucket and bucket[-1]._cancelled:
+                bucket.pop()
+                self._cancelled_count -= 1
+            if not bucket:
+                return None
+            event = bucket.pop()
+            if bucket:
+                self._cur = bucket
+        return (t, NORMAL, event._skey, event)
+
+    def _pop_entry(self) -> Optional[tuple[float, int, int, Event]]:
+        """Pop the globally-minimum live entry across all structures."""
+        fifo = self._tiebreak_sign == 1
+        now = self._now
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._cancelled_count -= 1
+        lane_u = self._lane_urgent
+        while lane_u and (lane_u[0] if fifo else lane_u[-1])[3]._cancelled:
+            if fifo:
+                lane_u.popleft()
+            else:
+                lane_u.pop()
+            self._cancelled_count -= 1
+        if lane_u:
+            # Urgent-now beats everything except an exotic heap entry at
+            # (now, priority < URGENT) or same-priority smaller seq.
+            su = (lane_u[0] if fifo else lane_u[-1])[2]
+            if queue:
+                e = queue[0]
+                if e[0] == now and (e[1] < URGENT or (e[1] == URGENT and e[2] < su)):
+                    return heapq.heappop(queue)
+            return lane_u.popleft() if fifo else lane_u.pop()
+        lane_n = self._lane_normal
+        while lane_n and (lane_n[0] if fifo else lane_n[-1])[3]._cancelled:
+            if fifo:
+                lane_n.popleft()
+            else:
+                lane_n.pop()
+            self._cancelled_count -= 1
+        # NORMAL candidates at the current timestamp: the immediate
+        # lane, the current bucket remainder, or an unopened bucket
+        # whose time equals now (a timer landing exactly at a timestamp
+        # the clock already reached via an urgent/exotic event).
+        sn = (lane_n[0] if fifo else lane_n[-1])[2] if lane_n else None
+        cur = self._cur
+        sc = None
+        if cur is not None:
+            if fifo:
+                idx = self._cur_idx
+                n = len(cur)
+                while idx < n and cur[idx]._cancelled:
+                    idx += 1
+                    self._cancelled_count -= 1
+                self._cur_idx = idx
+                if idx >= n:
+                    cur = self._cur = None
+                else:
+                    sc = cur[idx]._skey
+            else:
+                while cur and cur[-1]._cancelled:
+                    cur.pop()
+                    self._cancelled_count -= 1
+                if not cur:
+                    cur = self._cur = None
+                else:
+                    sc = cur[-1]._skey
+        sb = None
+        times = self._times
+        buckets = self._buckets
+        while times and times[0] == now:
+            bucket = buckets[now]
+            while bucket and (bucket[0] if fifo else bucket[-1])._cancelled:
+                if fifo:
+                    del bucket[0]
+                else:
+                    bucket.pop()
+                self._cancelled_count -= 1
+            if bucket:
+                sb = (bucket[0] if fifo else bucket[-1])._skey
+                break
+            heapq.heappop(times)
+            del buckets[now]
+        # cur and an unopened now-bucket cannot coexist (one bucket per
+        # timestamp, removed from the store when opened), but lane_n can
+        # accompany either: pick the smallest seq key.
+        best = sn
+        src = 1
+        if sc is not None and (best is None or sc < best):
+            best, src = sc, 2
+        if sb is not None and (best is None or sb < best):
+            best, src = sb, 3
+        if best is not None:
+            if queue:
+                e = queue[0]
+                if e[0] == now and e[1] < NORMAL:
+                    return heapq.heappop(queue)
+            if src == 1:
+                return lane_n.popleft() if fifo else lane_n.pop()
+            if src == 2:
+                if fifo:
+                    idx = self._cur_idx
+                    event = cur[idx]
+                    idx += 1
+                    if idx >= len(cur):
+                        self._cur = None
+                    else:
+                        self._cur_idx = idx
+                else:
+                    event = cur.pop()
+                    if not cur:
+                        self._cur = None
+                return (now, NORMAL, event._skey, event)
+            return self._open_bucket()
+        # Nothing at the current timestamp: advance to the earliest of
+        # the exotic heap and the timer store.
+        while True:
+            t = times[0] if times else None
+            if queue:
+                e = queue[0]
+                if t is None or e[0] < t or (e[0] == t and e[1] < NORMAL):
+                    return heapq.heappop(queue)
+            elif t is None:
+                return None
+            entry = self._open_bucket()
+            if entry is not None:
+                return entry
+
+    def _has_pending(self) -> bool:
+        return self._n_pending() > self._cancelled_count
+
     def step(self) -> None:
         """Process the next scheduled event.
 
         Raises :class:`SimulationError` if the queue is empty, and
         re-raises the exception of any failed event nobody defused.
         """
-        while True:
-            try:
-                now, priority, _, event = heapq.heappop(self._queue)
-            except IndexError:
-                raise SimulationError("no more events") from None
-            if event._cancelled:
-                self._cancelled_count -= 1
-                continue
-            break
+        entry = self._pop_entry()
+        if entry is None:
+            raise SimulationError("no more events")
+        now, priority, _, event = entry
         self._now = now
+        if self._trace_hook is not None:
+            self._trace_hook(now, priority, event)
         sanitizer = self.sanitizer
         if sanitizer is not None:
             sanitizer.begin_event(self._now, priority, event)
@@ -543,8 +977,17 @@ class Environment:
                 self.schedule(stop, delay=at - self._now, priority=URGENT)
                 stop.callbacks.append(self._stop_callback)
         try:
-            while len(self._queue) > self._cancelled_count:
-                self.step()
+            if (
+                self.sanitizer is None
+                and self._trace_hook is None
+                and type(self) is Environment
+            ):
+                # No observers attached and no step() override possible:
+                # dispatch in the tight loop.
+                self._run_fast()
+            else:
+                while self._has_pending():
+                    self.step()
         except _StopRun as stop_exc:
             return stop_exc.args[0]
         if stop is not None and isinstance(until, Event):
@@ -552,6 +995,180 @@ class Environment:
                 "run() finished: the until-event was never triggered"
             )
         return None
+
+    def _run_fast(self) -> None:
+        """Drain the queue without per-event observer checks.
+
+        Byte-identical to ``while self._has_pending(): self.step()`` —
+        the same pop order, the same dispatch, the same failure
+        propagation — minus the sanitizer/trace-hook tests and the
+        method-call overhead per event.  Only entered when no sanitizer
+        or trace hook is attached and ``type(self) is Environment`` (a
+        subclass overriding :meth:`step` gets the stepping loop).
+
+        The hot branch drains one timer bucket at a stretch.  While a
+        bucket drains, already-queued exotic-heap entries cannot
+        preempt its remainder (they lost the tie when the bucket was
+        opened, on time or on priority, and stay lost), and new
+        preemption can only arrive through the urgent lane (delay-0
+        URGENT), the normal lane under the lifo tie-break (newer seq
+        wins ties), or a fresh exotic-heap push (negative priority) —
+        so only those three are checked per event.  Under fifo a
+        lane-normal append (newer seq) sorts after every bucket entry
+        and needs no check.
+        """
+        queue = self._queue
+        lane_u = self._lane_urgent
+        lane_n = self._lane_normal
+        times = self._times
+        pop_entry = self._pop_entry
+        heappop = heapq.heappop
+        lifo = self._tiebreak_sign != 1
+        while True:
+            if lane_u or lane_n:
+                if (
+                    self._has_exotic
+                    or self._cur is not None
+                    or (queue and queue[0][0] == self._now)
+                    or (times and times[0] == self._now)
+                ):
+                    # Something else shares the current timestamp: full
+                    # multi-way merge, one event at a time.
+                    entry = pop_entry()
+                    if entry is None:
+                        return
+                else:
+                    # Lean lane drain: nothing outside the lanes exists
+                    # at the current timestamp, and nothing can join it
+                    # (delay-0 lands in the lanes; delay>0 lands later;
+                    # exotic priorities are excluded above).  Urgent
+                    # entries precede normal ones outright, so no key
+                    # comparisons are needed.
+                    nq = len(queue)
+                    fifo = not lifo
+                    while True:
+                        if lane_u:
+                            lane = lane_u
+                        elif lane_n:
+                            lane = lane_n
+                        else:
+                            break
+                        event = (lane.popleft() if fifo else lane.pop())[3]
+                        if event._cancelled:
+                            self._cancelled_count -= 1
+                            continue
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                        if event._ok is False and not event._defused:
+                            raise event._value
+                        if len(queue) != nq or self._cur is not None:
+                            break  # new work may share this timestamp
+                    continue
+            elif self._has_exotic:
+                entry = pop_entry()
+                if entry is None:
+                    return
+            elif self._cur is None:
+                # Next source: exotic heap vs timer store.
+                if self._cancelled_count:
+                    while queue and queue[0][3]._cancelled:
+                        heappop(queue)
+                        self._cancelled_count -= 1
+                if queue:
+                    e = queue[0]
+                    t = times[0] if times else None
+                    if t is None or e[0] < t or (e[0] == t and e[1] < NORMAL):
+                        entry = heappop(queue)
+                    else:
+                        entry = self._open_bucket()
+                        if entry is None:
+                            continue  # dead bucket dropped; re-decide
+                else:
+                    entry = self._open_bucket()
+                    if entry is None:
+                        if not times:
+                            return
+                        continue  # dead bucket dropped; retry
+            else:
+                entry = None  # resume the current bucket
+            if entry is not None:
+                self._now = entry[0]
+                event = entry[3]
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
+                if self._cur is None:
+                    continue
+            cur = self._cur
+            if (
+                cur is None
+                or lane_u
+                or (lifo and lane_n)
+                or self._has_exotic
+                or (queue and queue[0][0] == self._now)
+            ):
+                continue  # outer loop re-dispatches via the general path
+            # Inline drain of the current bucket's remainder.  The
+            # fifo bound is captured once (``n``); a compaction inside a
+            # callback can shrink ``cur`` and leave ``n`` stale, so the
+            # read is guarded by the (zero-cost-until-raised)
+            # IndexError as a safety net — every introspection path
+            # (peek, _pop_entry, _n_pending, _compact) tolerates a
+            # fully-read ``_cur``, so exhaustion may be discovered
+            # lazily on that read.
+            nq = len(queue)
+            n = len(cur)
+            while True:
+                if lifo:
+                    try:
+                        event = cur.pop()
+                    except IndexError:
+                        self._cur = None
+                        break
+                else:
+                    idx = self._cur_idx
+                    try:
+                        event = cur[idx]
+                    except IndexError:
+                        self._cur = None
+                        break
+                    self._cur_idx = idx + 1
+                if event._cancelled:
+                    self._cancelled_count -= 1
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
+                if lifo:
+                    if not cur:
+                        if self._cur is cur:
+                            self._cur = None
+                        break
+                elif self._cur_idx >= n:
+                    if self._cur is cur:
+                        self._cur = None
+                    break
+                if self._cur is not cur:
+                    break  # swapped out by a nested run()
+                if lane_u or (lifo and lane_n) or len(queue) != nq:
+                    break  # new work may precede the remainder
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

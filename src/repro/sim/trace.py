@@ -1,0 +1,73 @@
+"""Step-level event tracing for bit-identity verification.
+
+:class:`EventTraceRecorder` hooks the kernel's dispatch loop and records
+one line per processed event — ``(time, priority, event type)`` at full
+``repr`` float precision.  Two runs of the same model are *bit-identical*
+exactly when their recorded traces are byte-identical: any change in
+event ordering, count, timing, or kind shows up as a trace diff.
+
+This is the measurement behind the golden-trace equivalence suite
+(``tests/test_golden_traces.py``): traces recorded on a previous
+implementation are checked into the repository, and the optimized kernel
+and fabric must reproduce them exactly, under both the ``fifo`` and
+``lifo`` same-tick tie-breaks.
+
+The recorder deliberately captures the event's *type name*, not its
+``repr()`` — reprs embed ``id()`` addresses that differ between
+processes and would defeat byte comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from .core import Environment, Event
+
+__all__ = ["EventTraceRecorder"]
+
+
+class EventTraceRecorder:
+    """Record every dispatched event of an :class:`Environment`.
+
+    Attaching a recorder routes the environment through the fully
+    instrumented dispatch path (the no-hook fast loop is bypassed), so
+    recording never changes *what* is scheduled — only how fast the
+    queue drains.  Attach before the first ``run()``::
+
+        env = Environment()
+        rec = EventTraceRecorder(env)
+        ...
+        env.run()
+        rec.lines  # ["0.0 0 Initialize", "1.0 1 Timeout", ...]
+    """
+
+    def __init__(self, env: Environment) -> None:
+        if env._trace_hook is not None:
+            raise ValueError("environment already has a trace recorder")
+        self.env = env
+        self.lines: list[str] = []
+        env._trace_hook = self._on_step
+
+    def _on_step(self, now: float, priority: int, event: Event) -> None:
+        self.lines.append(f"{now!r} {priority} {type(event).__name__}")
+
+    def detach(self) -> None:
+        """Stop recording (the environment regains its fast loop)."""
+        if self.env._trace_hook is self._on_step:
+            self.env._trace_hook = None
+
+    @property
+    def text(self) -> str:
+        """The full trace as one newline-joined string."""
+        return "\n".join(self.lines)
+
+    def sha256(self) -> str:
+        """Digest of the trace text — a compact bit-identity fingerprint."""
+        return hashlib.sha256(self.text.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<EventTraceRecorder {len(self.lines)} events>"

@@ -1,0 +1,82 @@
+"""Golden-trace bit-identity suite: the gate for kernel/fabric perf work.
+
+Each checked-in golden under ``tests/goldens/`` is the full observable
+fingerprint of one shipped campaign — step-level event trace, run/step
+transition trace, span stream hash, Table 1 and Fig. 4 numbers —
+recorded on the pre-optimization kernel and fabric.  Replaying the same
+campaign on the current code must reproduce every byte.
+
+``trace=True`` replays pin the kernel to the instrumented slow path
+(the trace hook disables ``_run_fast``), so a second set of untraced
+replays checks that the fast path lands on the same Table 1 / Fig. 4
+numbers — the two dispatch paths must be observably indistinguishable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.goldens import (
+    GOLDEN_SPECS,
+    capture_golden,
+    golden_filename,
+    read_golden,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+_IDS = [f"{k}-{uc}-s{seed}-{tb}" for k, uc, seed, tb in GOLDEN_SPECS]
+
+
+def _load(kind: str, use_case: str, seed: int, tiebreak: str) -> dict:
+    path = os.path.join(GOLDEN_DIR, golden_filename(kind, use_case, seed, tiebreak))
+    assert os.path.exists(path), f"missing golden: {path}"
+    return read_golden(path)
+
+
+def test_golden_set_is_complete():
+    recorded = sorted(f for f in os.listdir(GOLDEN_DIR) if f.endswith(".json.gz"))
+    expected = sorted(golden_filename(*spec) for spec in GOLDEN_SPECS)
+    assert recorded == expected
+
+
+@pytest.mark.parametrize(("kind", "use_case", "seed", "tiebreak"), GOLDEN_SPECS, ids=_IDS)
+def test_replay_is_bit_identical(kind, use_case, seed, tiebreak):
+    golden = _load(kind, use_case, seed, tiebreak)
+    replay = capture_golden(kind, use_case, seed, tiebreak)
+    # Compare the event trace first and with counts, so a divergence
+    # fails with a readable position instead of a giant dict diff.
+    g_events, r_events = golden["events"], replay["events"]
+    assert len(r_events) == len(g_events)
+    for i, (g, r) in enumerate(zip(g_events, r_events)):
+        assert r == g, f"trace diverges at event {i}: golden={g!r} replay={r!r}"
+    assert replay == golden
+
+
+@pytest.mark.parametrize(
+    ("kind", "use_case", "seed", "tiebreak"),
+    [spec for spec in GOLDEN_SPECS if spec[2] == 1],
+    ids=[i for i in _IDS if "-s1-" in i],
+)
+def test_fast_path_matches_goldens(kind, use_case, seed, tiebreak):
+    """Untraced replays (fast dispatch path) land on the golden numbers."""
+    from repro.chaos import delivery_breakdown, run_chaos_campaign
+    from repro.core.campaign import run_campaign
+    from repro.core.stats import fig4_samples
+
+    golden = _load(kind, use_case, seed, tiebreak)
+    if kind == "campaign":
+        res = run_campaign(
+            use_case, duration_s=3600.0, seed=seed, tiebreak=tiebreak
+        )
+    else:
+        res = run_chaos_campaign(
+            kind, use_case=use_case, duration_s=3600.0, seed=seed, tiebreak=tiebreak
+        )
+        assert delivery_breakdown(res) == golden["breakdown"]
+    assert res.trace is None  # really the uninstrumented path
+    assert asdict(res.table1()) == golden["table1"]
+    assert fig4_samples(res.runs) == golden["fig4"]
