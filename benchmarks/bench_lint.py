@@ -1,0 +1,76 @@
+"""Static-analyzer throughput: cold parse+analyze vs. warm cache.
+
+Not a paper figure — ``repro.lint`` runs in CI on every change, so its
+wall time is developer-facing latency.  The warm benchmarks double as
+correctness checks: they assert the cache-hit statistics, proving the
+incremental cache re-analyzes exactly the changed files.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import repro
+from repro.lint import Analyzer, LintCache
+
+PACKAGE_DIR = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def test_lint_cold_full_tree(benchmark):
+    """Fresh analyzer, no cache: parse + CFG + all rules on every file."""
+
+    def run():
+        analyzer = Analyzer()
+        analyzer.lint_paths([PACKAGE_DIR])
+        return analyzer.stats.files_total
+
+    n_files = benchmark(run)
+    assert n_files > 60
+
+
+def test_lint_warm_cache_full_tree(benchmark, tmp_path):
+    """Fully warm cache: every file served from the content-hash cache."""
+    cache_path = str(tmp_path / "cache.json")
+    primer = Analyzer()
+    cache = LintCache(cache_path)
+    primer.lint_paths([PACKAGE_DIR], cache=cache)
+    cache.save()
+
+    def run():
+        analyzer = Analyzer()
+        analyzer.lint_paths([PACKAGE_DIR], cache=LintCache(cache_path))
+        return analyzer.stats
+
+    stats = benchmark(run)
+    assert stats.files_cached == stats.files_total
+    assert stats.files_analyzed == 0
+
+
+def test_lint_warm_one_file_changed(benchmark, tmp_path):
+    """One file touched: exactly one cache miss, everything else cached."""
+    work = str(tmp_path / "repro")
+    shutil.copytree(
+        PACKAGE_DIR, work, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    cache_path = str(tmp_path / "cache.json")
+    primer = Analyzer()
+    cache = LintCache(cache_path)
+    primer.lint_paths([work], cache=cache)
+    cache.save()
+    victim = os.path.join(work, "units.py")
+    tick = [0]
+
+    def run():
+        tick[0] += 1
+        with open(victim, "a", encoding="utf-8") as fh:
+            fh.write(f"# bench touch {tick[0]}\n")
+        analyzer = Analyzer()
+        c = LintCache(cache_path)
+        analyzer.lint_paths([work], cache=c)
+        c.save()
+        return analyzer.stats
+
+    stats = benchmark(run)
+    assert stats.files_analyzed == 1
+    assert stats.files_cached == stats.files_total - 1

@@ -370,7 +370,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p.add_argument(
         "suite", nargs="?", default="all",
-        choices=["all", "kernel", "fabric", "campaign"],
+        choices=["all", "kernel", "fabric", "campaign", "lint"],
     )
     p.add_argument(
         "--check", action="store_true",

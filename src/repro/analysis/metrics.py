@@ -81,18 +81,17 @@ def match_greedy(
     """
     order = sorted(range(len(dets)), key=lambda i: -dets[i].confidence)
     m = iou_matrix(dets, truths)
-    claimed: set[int] = set()
     assignment = [-1] * len(dets)
+    if len(truths) == 0:
+        return assignment
+    available = np.ones(len(truths), dtype=bool)
     for i in order:
-        best_j, best_v = -1, threshold
-        for j in range(len(truths)):
-            if j in claimed:
-                continue
-            if m[i, j] >= best_v:
-                best_v = m[i, j]
-                best_j = j
-        if best_j >= 0:
-            claimed.add(best_j)
+        row = np.where(available, m[i], -np.inf)
+        # the scalar scan this replaces took the *last* maximal truth on
+        # ties; argmax takes the first, so scan the row reversed
+        best_j = int(len(row) - 1 - np.argmax(row[::-1]))
+        if row[best_j] >= threshold:
+            available[best_j] = False
             assignment[i] = best_j
     return assignment
 

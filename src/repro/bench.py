@@ -34,6 +34,7 @@ __all__ = [
     "run_campaign_bench",
     "run_fabric_bench",
     "run_kernel_bench",
+    "run_lint_bench",
     "run_suite",
     "write_suite",
 ]
@@ -215,6 +216,93 @@ def run_fabric_bench(repeat: int = 3, scale: float = 1.0) -> dict[str, Any]:
     return metrics
 
 
+# -- lint suite ------------------------------------------------------------
+
+def run_lint_bench(repeat: int = 3) -> dict[str, Any]:
+    """The static analyzer over the full ``repro`` package: cold run,
+    fully warm cache, and the incremental single-file-changed case.
+
+    The warm cases assert their cache-hit counts — the suite doubles as
+    the proof that the incremental cache re-analyzes exactly the
+    changed files and nothing else.
+    """
+    import shutil
+    import tempfile
+
+    from .lint import Analyzer, LintCache
+
+    target = os.path.dirname(os.path.abspath(__file__))
+    metrics: dict[str, Any] = {}
+
+    def cold() -> int:
+        analyzer = Analyzer()
+        analyzer.lint_paths([target])
+        return analyzer.stats.files_total
+
+    wall, n_files = _best_of(cold, repeat)
+    metrics["cold_full_tree"] = {
+        "n_ops": n_files,
+        "wall_s": wall,
+        "ops_per_s": n_files / wall,
+    }
+
+    with tempfile.TemporaryDirectory() as td:
+        cache_path = os.path.join(td, "cache.json")
+        primer = Analyzer()
+        cache = LintCache(cache_path)
+        primer.lint_paths([target], cache=cache)
+        cache.save()
+
+        def warm() -> int:
+            analyzer = Analyzer()
+            c = LintCache(cache_path)
+            analyzer.lint_paths([target], cache=c)
+            assert analyzer.stats.files_cached == analyzer.stats.files_total
+            return analyzer.stats.files_total
+
+        wall_w, n = _best_of(warm, repeat)
+        metrics["warm_cache_full_tree"] = {
+            "n_ops": n,
+            "wall_s": wall_w,
+            "ops_per_s": n / wall_w,
+            "cache_hit_rate": 1.0,
+        }
+
+        # Single-file incrementality on a throwaway copy of the tree:
+        # each run touches one file, so exactly one miss per run.
+        work = os.path.join(td, "repro")
+        shutil.copytree(target, work, ignore=shutil.ignore_patterns("__pycache__"))
+        inc_cache_path = os.path.join(td, "inc-cache.json")
+        primer = Analyzer()
+        cache = LintCache(inc_cache_path)
+        primer.lint_paths([work], cache=cache)
+        cache.save()
+        victim = os.path.join(work, "units.py")
+        tick = 0
+
+        def one_changed() -> int:
+            nonlocal tick
+            tick += 1
+            with open(victim, "a", encoding="utf-8") as fh:
+                fh.write(f"# bench touch {tick}\n")
+            analyzer = Analyzer()
+            c = LintCache(inc_cache_path)
+            analyzer.lint_paths([work], cache=c)
+            c.save()
+            assert analyzer.stats.files_analyzed == 1
+            assert analyzer.stats.files_cached == analyzer.stats.files_total - 1
+            return analyzer.stats.files_total
+
+        wall_1, n1 = _best_of(one_changed, repeat)
+        metrics["warm_one_file_changed"] = {
+            "n_ops": n1,
+            "wall_s": wall_1,
+            "ops_per_s": n1 / wall_1,
+            "files_reanalyzed": 1,
+        }
+    return metrics
+
+
 # -- campaign suite --------------------------------------------------------
 
 def run_campaign_bench(repeat: int = 3, include_sweep: bool = True) -> dict[str, Any]:
@@ -257,6 +345,7 @@ SUITES: dict[str, Callable[..., dict[str, Any]]] = {
     "kernel": run_kernel_bench,
     "fabric": run_fabric_bench,
     "campaign": run_campaign_bench,
+    "lint": run_lint_bench,
 }
 
 

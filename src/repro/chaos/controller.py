@@ -145,16 +145,19 @@ class ChaosController:
             .set("service", w.service)
             .set("until", w.end_s)
         )
-        self._log("outage_start", service=w.service, until=w.end_s)
-        self._counter("chaos.outages").inc()
-        yield self.env.timeout(w.duration_s)
-        gate = self.gates.get(w.service)
-        span.set("rejections", gate.rejections if gate else 0).finish()
-        self._log(
-            "outage_end",
-            service=w.service,
-            rejections=gate.rejections if gate else 0,
-        )
+        try:
+            self._log("outage_start", service=w.service, until=w.end_s)
+            self._counter("chaos.outages").inc()
+            yield self.env.timeout(w.duration_s)
+            gate = self.gates.get(w.service)
+            span.set("rejections", gate.rejections if gate else 0)
+            self._log(
+                "outage_end",
+                service=w.service,
+                rejections=gate.rejections if gate else 0,
+            )
+        finally:
+            span.finish()
         # Service is back: catch up the non-critical work that degraded
         # while it was away.
         yield from self._drain_backlog(_SERVICE_PROVIDER[w.service])
@@ -167,13 +170,15 @@ class ChaosController:
             .set("link", f"{d.a}--{d.b}")
             .set("scale", d.scale)
         )
-        self._log("link_degraded", a=d.a, b=d.b, scale=d.scale)
-        self._counter("chaos.degradations").inc()
-        self.fabric.set_link_health(d.a, d.b, d.scale)
-        yield self.env.timeout(d.duration_s)
-        self.fabric.set_link_health(d.a, d.b, 1.0)
-        self._log("link_restored", a=d.a, b=d.b)
-        span.finish()
+        try:
+            self._log("link_degraded", a=d.a, b=d.b, scale=d.scale)
+            self._counter("chaos.degradations").inc()
+            self.fabric.set_link_health(d.a, d.b, d.scale)
+            yield self.env.timeout(d.duration_s)
+            self.fabric.set_link_health(d.a, d.b, 1.0)
+            self._log("link_restored", a=d.a, b=d.b)
+        finally:
+            span.finish()
 
     def _watcher_process(self, c: WatcherCrash) -> Generator:
         if c.at_s > self.env.now:
@@ -181,13 +186,16 @@ class ChaosController:
         if not self.observer.running:
             return  # already crashed by an overlapping event
         span = self.tracer.start("chaos.watcher_crash").set("down_s", c.down_s)
-        self._log("watcher_crash", down_s=c.down_s)
-        self._counter("chaos.watcher_crashes").inc()
-        self.observer.stop()
-        yield self.env.timeout(c.down_s)
-        replayed = self.observer.restart(replay=True)
-        self._log("watcher_restart", replayed=replayed)
-        span.set("replayed", replayed).finish()
+        try:
+            self._log("watcher_crash", down_s=c.down_s)
+            self._counter("chaos.watcher_crashes").inc()
+            self.observer.stop()
+            yield self.env.timeout(c.down_s)
+            replayed = self.observer.restart(replay=True)
+            self._log("watcher_restart", replayed=replayed)
+            span.set("replayed", replayed)
+        finally:
+            span.finish()
 
     # -- degraded-work catch-up ------------------------------------------
     def _drain_backlog(self, provider_name: str) -> Generator:
@@ -206,28 +214,36 @@ class ChaosController:
                 .set("run_id", entry.run_id)
                 .set("state", entry.state)
             )
-            provider = self.flows.provider(entry.provider)
             try:
-                action_id = provider.run(dict(entry.body))
-            except Exception as exc:
-                entry.error = f"{type(exc).__name__}: {exc}"
-                span.set("status", "FAILED").finish()
-                continue
-            status = None
-            for interval in self.flows.backoff.intervals():
-                yield self.env.timeout(interval + self.flows.poll_latency_s)
-                status = provider.status(action_id)
-                if status.state.terminal:
-                    break
-            if status is not None and status.state is ActionState.SUCCEEDED:
-                entry.caught_up_at = self.env.now
-                latency = entry.recovery_latency_s or 0.0
-                self.recovery_latencies.append(latency)
-                self._histogram("chaos.recovery_latency_s").observe(latency)
-                span.set("status", "SUCCEEDED").set("latency_s", latency).finish()
-            else:
-                entry.error = (status.error if status else None) or "catch-up failed"
-                span.set("status", "FAILED").finish()
+                provider = self.flows.provider(entry.provider)
+                try:
+                    action_id = provider.run(dict(entry.body))
+                except Exception as exc:
+                    entry.error = f"{type(exc).__name__}: {exc}"
+                    span.set("status", "FAILED")
+                    continue
+                status = None
+                for interval in self.flows.backoff.intervals():
+                    yield self.env.timeout(interval + self.flows.poll_latency_s)
+                    status = provider.status(action_id)
+                    if status.state.terminal:
+                        break
+                if status is not None and status.state is ActionState.SUCCEEDED:
+                    entry.caught_up_at = self.env.now
+                    latency = entry.recovery_latency_s or 0.0
+                    self.recovery_latencies.append(latency)
+                    self._histogram("chaos.recovery_latency_s").observe(latency)
+                    span.set("status", "SUCCEEDED").set("latency_s", latency)
+                else:
+                    entry.error = (
+                        status.error if status else None
+                    ) or "catch-up failed"
+                    span.set("status", "FAILED")
+            finally:
+                # `provider.status` can raise ServiceUnavailable mid-poll
+                # and the kernel can throw into the generator; the span
+                # must end on those edges too (finish() is idempotent).
+                span.finish()
 
     def drain_remaining(self) -> Generator:
         """Catch up every still-pending backlog entry (end-of-campaign

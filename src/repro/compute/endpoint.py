@@ -180,78 +180,89 @@ class ComputeEndpoint:
         outcome = TaskOutcome(queued_at=self.env.now)
         while True:
             wait_span = self.tracer.start("compute.queue_wait", span)
-            if len(self._available) == 0:
-                # No warm node parked right now: ask the batch system for
-                # one.  If a warm node frees up first, we take it and the
-                # fresh node is returned (see _provisioner).
-                self.env.process(self._provisioner())
-            node: Node = yield self._available.get()
-            self._m_warm.set(len(self._available))
-            self._bump_epoch(node)  # invalidate any pending reaper
-            outcome.node_id = node.node_id
-            outcome.cold_start = node.tasks_run == 0
-            if outcome.cold_start:
-                self.cold_starts += 1
-                self._m_cold.inc()
-            outcome.started_at = self.env.now
-            wait_span.set("node_id", node.node_id).set(
-                "cold_start", outcome.cold_start
-            ).finish()
+            try:
+                if len(self._available) == 0:
+                    # No warm node parked right now: ask the batch system
+                    # for one.  If a warm node frees up first, we take it
+                    # and the fresh node is returned (see _provisioner).
+                    self.env.process(self._provisioner())
+                node: Node = yield self._available.get()
+                self._m_warm.set(len(self._available))
+                self._bump_epoch(node)  # invalidate any pending reaper
+                outcome.node_id = node.node_id
+                outcome.cold_start = node.tasks_run == 0
+                if outcome.cold_start:
+                    self.cold_starts += 1
+                    self._m_cold.inc()
+                outcome.started_at = self.env.now
+                wait_span.set("node_id", node.node_id).set(
+                    "cold_start", outcome.cold_start
+                )
+            finally:
+                wait_span.finish()
             self._m_queue_wait.observe(outcome.started_at - outcome.queued_at)
             node_lost = False
             try:
                 if not node.env_cached:
                     warm_span = self.tracer.start("compute.env_cache", span)
-                    warmup = lognormal_from_median(
-                        self.rngs.stream("endpoint.envcache"),
-                        self.env_cache_median_s,
-                        self.env_cache_sigma,
-                    )
-                    if warmup > 0:
-                        yield self.env.timeout(warmup)
-                    node.env_cached = True
-                    outcome.env_cache_paid = True
-                    warm_span.set("node_id", node.node_id).finish()
+                    try:
+                        warmup = lognormal_from_median(
+                            self.rngs.stream("endpoint.envcache"),
+                            self.env_cache_median_s,
+                            self.env_cache_sigma,
+                        )
+                        if warmup > 0:
+                            yield self.env.timeout(warmup)
+                        node.env_cached = True
+                        outcome.env_cache_paid = True
+                        warm_span.set("node_id", node.node_id)
+                    finally:
+                        warm_span.finish()
                 exec_span = self.tracer.start("compute.exec", span).set(
                     "function", func.name
                 )
-                charge = func.charge(args, kwargs)
-                fail_frac = (
-                    self.node_chaos.draw(self.chaos_rng)
-                    if self.node_chaos is not None
-                    else None
-                )
-                if fail_frac is not None:
-                    # The node dies mid-task: burn part of the work, lose
-                    # the node (back to the batch pool, not the warm
-                    # store), and re-queue the task under the budget.
-                    burn = charge * fail_frac
-                    if burn > 0:
-                        yield self.env.timeout(burn)
-                    node_lost = True
-                    outcome.node_failures += 1
-                    self.node_failures += 1
-                    self._counter(f"endpoint.{self.name}.node_failures").inc()
-                    exec_span.set("ok", False).set("node_failed", True).finish()
-                    self.scheduler.release(node)
-                    if outcome.node_failures <= self.node_chaos.retry_budget:
-                        continue
-                    outcome.error = (
-                        f"node {node.node_id} died mid-task; retry budget "
-                        f"({self.node_chaos.retry_budget}) exhausted after "
-                        f"{outcome.node_failures} node failures"
+                try:
+                    charge = func.charge(args, kwargs)
+                    fail_frac = (
+                        self.node_chaos.draw(self.chaos_rng)
+                        if self.node_chaos is not None
+                        else None
                     )
-                else:
-                    if charge > 0:
-                        yield self.env.timeout(charge)
-                    try:
-                        outcome.result = func.fn(*args, **kwargs)
-                    except Exception as exc:  # the *user function* failed
-                        outcome.error = f"{type(exc).__name__}: {exc}"
-                    exec_span.set("ok", outcome.ok).finish()
-                    node.tasks_run += 1
-                    self.tasks_executed += 1
-                    self._m_tasks.inc()
+                    if fail_frac is not None:
+                        # The node dies mid-task: burn part of the work,
+                        # lose the node (back to the batch pool, not the
+                        # warm store), and re-queue under the budget.
+                        burn = charge * fail_frac
+                        if burn > 0:
+                            yield self.env.timeout(burn)
+                        node_lost = True
+                        outcome.node_failures += 1
+                        self.node_failures += 1
+                        self._counter(
+                            f"endpoint.{self.name}.node_failures"
+                        ).inc()
+                        exec_span.set("ok", False).set("node_failed", True)
+                        self.scheduler.release(node)
+                        if outcome.node_failures <= self.node_chaos.retry_budget:
+                            continue
+                        outcome.error = (
+                            f"node {node.node_id} died mid-task; retry budget "
+                            f"({self.node_chaos.retry_budget}) exhausted after "
+                            f"{outcome.node_failures} node failures"
+                        )
+                    else:
+                        if charge > 0:
+                            yield self.env.timeout(charge)
+                        try:
+                            outcome.result = func.fn(*args, **kwargs)
+                        except Exception as exc:  # the *user function* failed
+                            outcome.error = f"{type(exc).__name__}: {exc}"
+                        exec_span.set("ok", outcome.ok)
+                        node.tasks_run += 1
+                        self.tasks_executed += 1
+                        self._m_tasks.inc()
+                finally:
+                    exec_span.finish()
             finally:
                 outcome.finished_at = self.env.now
                 if not node_lost:

@@ -107,31 +107,49 @@ class BatchScheduler:
         """
         rng = self.rngs.stream("scheduler.delays")
         span = self.tracer.start("scheduler.provision")
-        queue_span = self.tracer.start("scheduler.queue", span)
-        requested_at = self.env.now
-        req = self.pool.request()
-        yield req
-        queue_delay = lognormal_from_median(rng, self.queue_median_s, self.queue_sigma)
-        if queue_delay > 0:
-            yield self.env.timeout(queue_delay)
-        queue_span.finish()
-        self._m_queue_wait.observe(self.env.now - requested_at)
-        boot_span = self.tracer.start("scheduler.boot", span)
-        boot_delay = lognormal_from_median(rng, self.boot_median_s, self.boot_sigma)
-        if boot_delay > 0:
-            yield self.env.timeout(boot_delay)
-        boot_span.finish()
-        self.env.touch(self, "w")
-        self.provision_count += 1
-        self._m_provisions.inc()
-        self._m_busy.set(self.pool.count)
-        node = Node(
-            node_id=f"node-{next(self._ids):03d}",
-            provisioned_at=self.env.now,
-            request=req,
-        )
-        span.set("node_id", node.node_id).finish()
-        return node
+        try:
+            requested_at = self.env.now
+            req = self.pool.request()
+            try:
+                queue_span = self.tracer.start("scheduler.queue", span)
+                try:
+                    yield req
+                    queue_delay = lognormal_from_median(
+                        rng, self.queue_median_s, self.queue_sigma
+                    )
+                    if queue_delay > 0:
+                        yield self.env.timeout(queue_delay)
+                finally:
+                    queue_span.finish()
+                self._m_queue_wait.observe(self.env.now - requested_at)
+                boot_span = self.tracer.start("scheduler.boot", span)
+                try:
+                    boot_delay = lognormal_from_median(
+                        rng, self.boot_median_s, self.boot_sigma
+                    )
+                    if boot_delay > 0:
+                        yield self.env.timeout(boot_delay)
+                finally:
+                    boot_span.finish()
+                self.env.touch(self, "w")
+                self.provision_count += 1
+                self._m_provisions.inc()
+                self._m_busy.set(self.pool.count)
+                node = Node(
+                    node_id=f"node-{next(self._ids):03d}",
+                    provisioned_at=self.env.now,
+                    request=req,
+                )
+            except BaseException:
+                # The kernel threw into us mid-provision (interrupt,
+                # campaign teardown): the pool claim must not outlive
+                # the generator or the slot is gone for the whole run.
+                req.release()
+                raise
+            span.set("node_id", node.node_id)
+            return node
+        finally:
+            span.finish()
 
     def release(self, node: Node) -> None:
         """Return a node to the pool (idempotence guarded)."""

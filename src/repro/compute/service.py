@@ -152,13 +152,13 @@ class ComputeService:
         # The task span opens at ``submitted_at`` and closes exactly at
         # ``completed_at`` so its duration equals the active time the
         # compute action provider reports for Fig. 4.
+        self._m_submitted.inc()
         span = (
             self.tracer.start("compute.task")
             .set("action_id", task.task_id)
             .set("endpoint", endpoint)
             .set("function", function_id)
         )
-        self._m_submitted.inc()
         self.env.process(self._drive(task, ep, func, args, kwargs, span))
         return task.task_id
 
@@ -196,20 +196,23 @@ class ComputeService:
     ) -> Generator:
         # Cloud routing hop: service receives the task, ships it to the
         # endpoint's queue.
-        rng = self.rngs.stream("compute.latency")
-        yield self.env.timeout(
-            lognormal_from_median(rng, self.api_latency_s, self.latency_sigma)
-        )
-        task.status = ComputeTaskStatus.RUNNING
-        outcome: TaskOutcome = yield ep.execute(func, args, kwargs, span=span)
-        task.outcome = outcome
-        task.completed_at = self.env.now
-        task.status = (
-            ComputeTaskStatus.SUCCESS if outcome.ok else ComputeTaskStatus.FAILED
-        )
-        span.set("status", task.status.value).set(
-            "node_id", outcome.node_id
-        ).set("cold_start", outcome.cold_start).finish()
+        try:
+            rng = self.rngs.stream("compute.latency")
+            yield self.env.timeout(
+                lognormal_from_median(rng, self.api_latency_s, self.latency_sigma)
+            )
+            task.status = ComputeTaskStatus.RUNNING
+            outcome: TaskOutcome = yield ep.execute(func, args, kwargs, span=span)
+            task.outcome = outcome
+            task.completed_at = self.env.now
+            task.status = (
+                ComputeTaskStatus.SUCCESS if outcome.ok else ComputeTaskStatus.FAILED
+            )
+            span.set("status", task.status.value).set(
+                "node_id", outcome.node_id
+            ).set("cold_start", outcome.cold_start)
+        finally:
+            span.finish()
         if outcome.ok:
             self._m_succeeded.inc()
         else:

@@ -184,6 +184,7 @@ class SearchIngestActionProvider:
             "error": None,
             "subject": body.get("subject"),
         }
+        self._actions[action_id] = record
         # Span window matches the active interval this provider reports
         # (started_at → completed_at) so Fig. 4 derives exactly from it.
         span = (
@@ -191,7 +192,6 @@ class SearchIngestActionProvider:
             .set("action_id", action_id)
             .set("subject", str(body.get("subject")))
         )
-        self._actions[action_id] = record
         self.env.process(self._drive(record, body, span))
         return action_id
 
@@ -199,28 +199,31 @@ class SearchIngestActionProvider:
         if span is None:
             span = NULL_TRACER.start("search.ingest")
         try:
-            yield from self.service.ingest(
-                self.token,
-                index=body["index"],
-                subject=body["subject"],
-                content=body["content"],
-                visible_to=body.get("visible_to", ("public",)),
-            )
-        except ServiceUnavailable as exc:
-            # Outage hit mid-action: the client hangs for the connect
-            # timeout, then the action reports FAILED and the executor's
-            # retry policy takes over.
-            if exc.connect_timeout_s > 0:
-                yield self.env.timeout(exc.connect_timeout_s)
-            record["status"] = "FAILED"
-            record["error"] = f"{type(exc).__name__}: {exc}"
-        except Exception as exc:
-            record["status"] = "FAILED"
-            record["error"] = f"{type(exc).__name__}: {exc}"
-        else:
-            record["status"] = "SUCCEEDED"
-        record["completed_at"] = self.env.now
-        span.set("status", record["status"]).finish()
+            try:
+                yield from self.service.ingest(
+                    self.token,
+                    index=body["index"],
+                    subject=body["subject"],
+                    content=body["content"],
+                    visible_to=body.get("visible_to", ("public",)),
+                )
+            except ServiceUnavailable as exc:
+                # Outage hit mid-action: the client hangs for the connect
+                # timeout, then the action reports FAILED and the
+                # executor's retry policy takes over.
+                if exc.connect_timeout_s > 0:
+                    yield self.env.timeout(exc.connect_timeout_s)
+                record["status"] = "FAILED"
+                record["error"] = f"{type(exc).__name__}: {exc}"
+            except Exception as exc:
+                record["status"] = "FAILED"
+                record["error"] = f"{type(exc).__name__}: {exc}"
+            else:
+                record["status"] = "SUCCEEDED"
+            record["completed_at"] = self.env.now
+            span.set("status", record["status"])
+        finally:
+            span.finish()
 
     def status(self, action_id: str) -> ActionStatus:
         try:

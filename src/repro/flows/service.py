@@ -160,13 +160,13 @@ class FlowsService:
         )
         self.env.touch(self._runs, "w", label="flows.runs")
         self._runs[run.run_id] = run
+        self._m_started.inc()
+        self._m_active_runs.add(1)
         run_span = (
             self.tracer.start("flow.run")
             .set("run_id", run.run_id)
             .set("flow", definition.title)
         )
-        self._m_started.inc()
-        self._m_active_runs.add(1)
         self.env.process(self._execute(definition, run, run_span))
         return run
 
@@ -228,28 +228,31 @@ class FlowsService:
             step_span.set("action_id", step.action_id)
             for interval in self.backoff.intervals():
                 poll_span = self.tracer.start("flow.poll", step_span)
-                wait = self.env.timeout(interval + self.poll_latency_s)
-                if deadline is None:
-                    yield wait
-                else:
-                    yield self.env.any_of([wait, deadline])
-                    if deadline.processed and not wait.processed:
-                        self.env.cancel(wait)
-                        poll_span.set("state", "TIMEOUT").finish()
-                        raise ActionTimeout(
-                            f"action {step.action_id} exceeded its "
-                            f"{policy.attempt_timeout_s}s attempt budget"
-                        )
-                step.polls += 1
-                self._m_polls.inc()
                 try:
-                    status = provider.status(step.action_id)
-                except ServiceUnavailable:
-                    poll_span.set("state", "UNAVAILABLE").finish()
-                    raise
-                poll_span.set("state", status.state.value).finish()
-                if status.state.terminal:
-                    return status
+                    wait = self.env.timeout(interval + self.poll_latency_s)
+                    if deadline is None:
+                        yield wait
+                    else:
+                        yield self.env.any_of([wait, deadline])
+                        if deadline.processed and not wait.processed:
+                            self.env.cancel(wait)
+                            poll_span.set("state", "TIMEOUT")
+                            raise ActionTimeout(
+                                f"action {step.action_id} exceeded its "
+                                f"{policy.attempt_timeout_s}s attempt budget"
+                            )
+                    step.polls += 1
+                    self._m_polls.inc()
+                    try:
+                        status = provider.status(step.action_id)
+                    except ServiceUnavailable:
+                        poll_span.set("state", "UNAVAILABLE")
+                        raise
+                    poll_span.set("state", status.state.value)
+                    if status.state.terminal:
+                        return status
+                finally:
+                    poll_span.finish()
         finally:
             if deadline is not None and not deadline.processed:
                 self.env.cancel(deadline)
@@ -323,12 +326,14 @@ class FlowsService:
                     .set("attempt", attempt.number)
                     .set("error", attempt.error or "")
                 )
-                if retry_waits is None:
-                    retry_waits = self._retry_intervals(policy)
-                delay = next(retry_waits)
-                if delay > 0:
-                    yield self.env.timeout(delay)
-                retry_span.finish()
+                try:
+                    if retry_waits is None:
+                        retry_waits = self._retry_intervals(policy)
+                    delay = next(retry_waits)
+                    if delay > 0:
+                        yield self.env.timeout(delay)
+                finally:
+                    retry_span.finish()
                 continue
 
             # Exhausted.  Non-critical states degrade; critical ones
@@ -391,8 +396,10 @@ class FlowsService:
                 )
                 # Cloud transition: enter state, resolve, submit.
                 t_span = self.tracer.start("flow.transition", step_span)
-                yield from self._transition()
-                t_span.finish()
+                try:
+                    yield from self._transition()
+                finally:
+                    t_span.finish()
                 self._m_transitions.inc()
                 provider = self.provider(state.provider)
                 body = state.resolve(context)
@@ -421,8 +428,10 @@ class FlowsService:
 
             # Final transition: mark the run complete in the cloud.
             t_span = self.tracer.start("flow.transition", run_span)
-            yield from self._transition()
-            t_span.finish()
+            try:
+                yield from self._transition()
+            finally:
+                t_span.finish()
             self._m_transitions.inc()
             run.status = RunStatus.SUCCEEDED
         except FlowError as exc:

@@ -21,13 +21,24 @@ stdlib-``ast``-based analyzer with three rule packs,
   references, parameters outside a provider's ``input_schema``, type
   conflicts where a payload key flows into a parameter of another type,
   and providers missing schema declarations;
+* **R5xx resource lifecycle** — path-sensitive leak detection over
+  per-function CFGs (:mod:`.cfg`) refined by interprocedural cleanup
+  summaries (:mod:`.callgraph`): scheduled events without a matching
+  ``Environment.cancel``, tracer spans open on an exception edge, temp
+  files with cleanup-free failure paths, resources held across
+  sim-yields;
+* **P6xx hot-path performance** — allocation/closure creation in
+  ``# repro: hotpath`` functions, per-element array loops in the
+  instrument/analysis data plane, invariant lookups in hot loops;
 
 plus ``# repro: noqa[RULE-ID]`` line suppressions, whole-file
 ``# repro: noqa-file[RULE-ID]`` suppressions, path-scoped allowances
 for the two files that legitimately touch the wall clock, and a CLI
-(``python -m repro lint``, with ``text``/``json``/``sarif`` output).  A
-tier-1 self-check test runs it over all of ``src/repro`` so any
-regression fails the ordinary pytest run.
+(``python -m repro lint``, with ``text``/``json``/``sarif`` output, a
+content-hash incremental cache, ``--changed-only`` git mode,
+``--baseline`` ratchet mode, and ``--statistics``).  A tier-1
+self-check test runs it over all of ``src/repro`` so any regression
+fails the ordinary pytest run.
 
 >>> from repro.lint import Analyzer
 >>> Analyzer().lint_source("import time\\nt = time.time()\\n")[0].rule_id
@@ -36,7 +47,11 @@ regression fails the ordinary pytest run.
 
 from __future__ import annotations
 
-from .analyzer import Analyzer, FileContext, Rule, all_rules, register
+from .analyzer import Analyzer, FileContext, LintStats, Rule, all_rules, register
+from .baseline import Baseline
+from .cache import LintCache
+from .callgraph import ProjectGraph, build_graph
+from .cfg import CFG, Block, build_cfg
 from .config import (
     DEFAULT_ALLOW,
     LintConfig,
@@ -50,9 +65,17 @@ from .resolver import ImportResolver
 __all__ = [
     "Analyzer",
     "FileContext",
+    "LintStats",
     "Rule",
     "register",
     "all_rules",
+    "Baseline",
+    "LintCache",
+    "ProjectGraph",
+    "build_graph",
+    "CFG",
+    "Block",
+    "build_cfg",
     "LintConfig",
     "DEFAULT_ALLOW",
     "ProviderSchema",

@@ -37,11 +37,17 @@ from .config import LintConfig
 from .diagnostics import Diagnostic, Severity
 from .resolver import ImportResolver
 
-__all__ = ["Rule", "FileContext", "Analyzer", "register", "all_rules"]
+__all__ = ["Rule", "FileContext", "Analyzer", "LintStats", "register", "all_rules"]
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<ids>[\w\s,]+)\])?", re.IGNORECASE
 )
+
+_HOTPATH_RE = re.compile(r"#\s*repro:\s*hotpath\b", re.IGNORECASE)
+
+#: Bumped whenever rule logic changes in a way that invalidates cached
+#: findings; part of the incremental cache's environment fingerprint.
+RULES_VERSION = 3
 
 #: rule_id -> rule class, in registration order (report order is by
 #: location anyway; the dict keeps lookup and ``--select`` validation O(1)).
@@ -51,8 +57,10 @@ _REGISTRY: dict[str, type["Rule"]] = {}
 def register(cls: type["Rule"]) -> type["Rule"]:
     """Class decorator adding a rule to the global registry."""
     rid = cls.rule_id
-    if not re.fullmatch(r"[DSF]\d{3}", rid):
-        raise ValueError(f"rule id must look like D101/S201/F301, got {rid!r}")
+    if not re.fullmatch(r"[DSFRP]\d{3}", rid):
+        raise ValueError(
+            f"rule id must look like D101/S201/F301/R501/P601, got {rid!r}"
+        )
     if rid in _REGISTRY and _REGISTRY[rid] is not cls:
         raise ValueError(f"duplicate rule id {rid!r}")
     _REGISTRY[rid] = cls
@@ -135,19 +143,34 @@ class FileContext:
         source: str,
         tree: ast.Module,
         config: LintConfig,
+        graph=None,
     ) -> None:
+        from .callgraph import module_name_for_path
+
         self.path = path
         self.source = source
         self.tree = tree
         self.config = config
-        self.resolver = ImportResolver(tree)
+        self.module_name = (
+            module_name_for_path(path) if path != "<string>" else None
+        )
+        self.resolver = ImportResolver(
+            tree,
+            module=self.module_name,
+            is_package=os.path.basename(path) == "__init__.py",
+        )
+        #: the project-wide call graph (interprocedural cleanup facts);
+        #: built lazily from this file alone when no project scan ran.
+        self._graph = graph
         self.diagnostics: list[Diagnostic] = []
         self._noqa, self._noqa_file = _collect_noqa(source)
+        self._hotpath_lines = _collect_hotpath_lines(source)
         self._parents: dict[int, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 self._parents[id(child)] = parent
         self._function_stack: list[_FunctionFrame] = []
+        self._cfgs: dict[int, "object"] = {}
 
     # -- scope ----------------------------------------------------------
     @property
@@ -175,6 +198,40 @@ class FileContext:
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted name of a ``Name``/``Attribute`` chain."""
         return self.resolver.resolve(node)
+
+    # -- path-sensitive engine ------------------------------------------
+    def cfg(self, fn: ast.AST):
+        """The (memoized) control-flow graph of a function node."""
+        from .cfg import build_cfg
+
+        key = id(fn)
+        if key not in self._cfgs:
+            self._cfgs[key] = build_cfg(fn)
+        return self._cfgs[key]
+
+    @property
+    def graph(self):
+        """The interprocedural :class:`~repro.lint.callgraph.ProjectGraph`.
+        When the analyzer ran over a project, this covers every linted
+        file; for a standalone source it covers just this module (so
+        intra-file facts still propagate)."""
+        if self._graph is None:
+            from .callgraph import build_graph
+
+            self._graph = build_graph(
+                {self.path: (self.module_name, self.tree)}
+            )
+        return self._graph
+
+    def is_hotpath(self, fn: ast.AST) -> bool:
+        """Is ``fn`` marked ``# repro: hotpath``?  The marker counts on
+        the ``def`` line, the line above it, or the first body line."""
+        body = getattr(fn, "body", None)
+        if not body:
+            return False
+        lo = getattr(fn, "lineno", 0) - 1
+        hi = body[0].lineno
+        return any(lo <= line <= hi for line in self._hotpath_lines)
 
     # -- reporting ------------------------------------------------------
     def report(
@@ -247,6 +304,51 @@ def _collect_noqa(
     return out, file_level
 
 
+def _collect_hotpath_lines(source: str) -> frozenset[int]:
+    """Lines carrying a ``# repro: hotpath`` marker comment."""
+    out: set[int] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT and _HOTPATH_RE.search(tok.string):
+                out.add(tok.start[0])
+    except tokenize.TokenError:
+        pass
+    return frozenset(out)
+
+
+class LintStats:
+    """Per-run accounting for ``--statistics`` and the bench suite."""
+
+    __slots__ = ("files_analyzed", "files_cached", "rule_counts")
+
+    def __init__(self) -> None:
+        self.files_analyzed = 0
+        self.files_cached = 0
+        self.rule_counts: dict[str, int] = {}
+
+    @property
+    def files_total(self) -> int:
+        return self.files_analyzed + self.files_cached
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.files_total
+        return self.files_cached / total if total else 0.0
+
+    def count(self, diagnostics: Iterable[Diagnostic]) -> None:
+        for d in diagnostics:
+            self.rule_counts[d.rule_id] = self.rule_counts.get(d.rule_id, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "files_total": self.files_total,
+            "files_analyzed": self.files_analyzed,
+            "files_cached": self.files_cached,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+        }
+
+
 class Analyzer:
     """Run a rule set over files, sources, or directory trees."""
 
@@ -259,9 +361,13 @@ class Analyzer:
         if rules is None:
             rules = [cls() for cls in all_rules().values()]
         self.rules = [r for r in rules if self.config.rule_enabled(r.rule_id)]
+        #: accounting for the most recent lint_paths run
+        self.stats = LintStats()
 
     # -- entry points ---------------------------------------------------
-    def lint_source(self, source: str, path: str = "<string>") -> list[Diagnostic]:
+    def lint_source(
+        self, source: str, path: str = "<string>", graph=None
+    ) -> list[Diagnostic]:
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
@@ -275,7 +381,7 @@ class Analyzer:
                     message=f"syntax error: {exc.msg}",
                 )
             ]
-        ctx = FileContext(path, source, tree, self.config)
+        ctx = FileContext(path, source, tree, self.config, graph=graph)
         self._walk(ctx, tree)
         return sorted(ctx.diagnostics)
 
@@ -283,20 +389,94 @@ class Analyzer:
         with open(path, "r", encoding="utf-8") as fh:
             return self.lint_source(fh.read(), path=path)
 
-    def lint_paths(self, paths: Iterable[str]) -> list[Diagnostic]:
+    def lint_paths(self, paths: Iterable[str], cache=None) -> list[Diagnostic]:
         """Lint files and/or directory trees (``.py`` files, sorted walk
-        order so output is stable)."""
-        out: list[Diagnostic] = []
+        order so output is stable).
+
+        With ``cache`` (a :class:`~repro.lint.cache.LintCache`), files
+        whose content hash matches a previous run under the same
+        environment fingerprint are served from the cache; the caller
+        is responsible for :meth:`~repro.lint.cache.LintCache.save`.
+        """
+        from .callgraph import build_graph, module_name_for_path
+
+        self.stats = LintStats()
+        files: list[str] = []
         for path in paths:
             if os.path.isdir(path):
                 for dirpath, dirnames, filenames in os.walk(path):
                     dirnames.sort()
                     for name in sorted(filenames):
                         if name.endswith(".py"):
-                            out.extend(self.lint_file(os.path.join(dirpath, name)))
+                            files.append(os.path.join(dirpath, name))
             else:
-                out.extend(self.lint_file(path))
-        return sorted(out)
+                files.append(path)
+
+        sources: dict[str, str] = {}
+        trees: dict[str, tuple[Optional[str], ast.Module]] = {}
+        broken: dict[str, list[Diagnostic]] = {}
+        for path in files:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    sources[path] = fh.read()
+                trees[path] = (
+                    module_name_for_path(path),
+                    ast.parse(sources[path], filename=path),
+                )
+            except SyntaxError:
+                broken[path] = self.lint_source(sources[path], path=path)
+            except OSError:
+                continue
+
+        graph = build_graph(trees)
+        if cache is not None:
+            cache.set_fingerprint(self._fingerprint(graph))
+
+        out: list[Diagnostic] = []
+        for path in files:
+            if path in broken:
+                out.extend(broken[path])
+                self.stats.files_analyzed += 1
+                continue
+            if path not in sources:
+                continue
+            if cache is not None:
+                hit = cache.get(path, sources[path])
+                if hit is not None:
+                    out.extend(hit)
+                    self.stats.files_cached += 1
+                    continue
+            diags = self.lint_source(sources[path], path=path, graph=graph)
+            if cache is not None:
+                cache.put(path, sources[path], diags)
+            out.extend(diags)
+            self.stats.files_analyzed += 1
+        result = sorted(out)
+        self.stats.count(result)
+        return result
+
+    def _fingerprint(self, graph) -> str:
+        """Everything that can change a file's findings without its
+        bytes changing: rule set + config + interprocedural facts."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"rules-v{RULES_VERSION};".encode())
+        for r in sorted(self.rules, key=lambda r: r.rule_id):
+            h.update(f"{r.rule_id}:{int(r.severity)};".encode())
+        h.update(repr(sorted(self.config.select)).encode())
+        h.update(repr(sorted(self.config.ignore)).encode())
+        h.update(
+            repr(
+                sorted(
+                    (pat, tuple(sorted(ids)))
+                    for pat, ids in self.config.allow.items()
+                )
+            ).encode()
+        )
+        h.update(repr(sorted(self.config.provider_schemas)).encode())
+        h.update(graph.fingerprint().encode())
+        return h.hexdigest()
 
     # -- walking --------------------------------------------------------
     def _walk(self, ctx: FileContext, node: ast.AST) -> None:

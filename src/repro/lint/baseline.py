@@ -1,0 +1,101 @@
+"""Baseline ratchet: suppress *known* findings, fail on new ones.
+
+Turning a new rule pack on over a mature tree surfaces pre-existing
+findings that are real but not this week's work.  Bulk-``noqa``-ing
+them would freeze them invisibly; the baseline instead records them in
+a committed file and subtracts them from future runs **by count**: each
+``path::rule`` key suppresses at most the recorded number of findings,
+so fixing one lowers the debt and introducing one more fails the run.
+That is the ratchet — the count can only go down.
+
+Workflow::
+
+    python -m repro lint src/repro --write-baseline LINT_BASELINE.json
+    git add LINT_BASELINE.json
+    # later runs:
+    python -m repro lint src/repro --baseline LINT_BASELINE.json
+
+Keys use the path's basename-anchored repo-relative suffix so the file
+is stable across checkouts at different absolute paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Optional
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Baseline", "baseline_key"]
+
+BASELINE_VERSION = 1
+
+
+def baseline_key(diag: Diagnostic) -> str:
+    """``relative/posix/path.py::RULE`` — location-free on purpose, so
+    unrelated edits that shift line numbers do not churn the file."""
+    path = diag.path.replace(os.sep, "/")
+    # anchor at the package root when present, else use the basename
+    marker = "/repro/"
+    idx = path.rfind(marker)
+    if idx >= 0:
+        path = "repro/" + path[idx + len(marker):]
+    else:
+        path = path.rsplit("/", 1)[-1]
+    return f"{path}::{diag.rule_id}"
+
+
+class Baseline:
+    """A recorded finding census and its subtraction logic."""
+
+    def __init__(self, findings: Optional[dict[str, int]] = None) -> None:
+        self.findings: dict[str, int] = dict(findings or {})
+
+    # -- persistence ----------------------------------------------------
+    @classmethod
+    def record(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for d in diagnostics:
+            key = baseline_key(d)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(f"not a lint baseline file: {path}")
+        findings = data.get("findings", {})
+        return cls({str(k): int(v) for k, v in findings.items()})
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.findings.items())),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # -- application ----------------------------------------------------
+    def apply(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> tuple[list[Diagnostic], int]:
+        """Subtract baselined findings; returns ``(surviving findings,
+        number suppressed)``.  Within one key, earlier (lower-line)
+        findings are suppressed first — deterministic either way, and
+        new findings in an already-baselined file still surface once the
+        recorded budget is spent."""
+        budget = dict(self.findings)
+        kept: list[Diagnostic] = []
+        suppressed = 0
+        for d in sorted(diagnostics):
+            key = baseline_key(d)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                kept.append(d)
+        return kept, suppressed

@@ -1,0 +1,119 @@
+"""Content-hash incremental cache for the analyzer.
+
+Linting ``src/repro`` parses ~80 files and runs every rule over each;
+on a warm tree almost none of that work is new.  The cache keys each
+file on a SHA-256 of its source, so repeat runs re-analyze only files
+whose bytes changed — *plus* one global **environment fingerprint**
+covering everything that can change a file's findings without touching
+its bytes: the enabled rule set and config, the provider-schema table,
+and the interprocedural call-graph summaries.  Any fingerprint mismatch
+drops the whole cache (correct by construction: a one-line edit in
+``sim/core.py`` can legitimately create findings in ``chaos/``).
+
+The on-disk format is one JSON document::
+
+    {"version": 1,
+     "fingerprint": "....",
+     "files": {"src/repro/x.py": {"hash": "...", "diags": [...]}}}
+
+Corrupt or version-skewed cache files are treated as empty, never as
+errors — the cache is an accelerator, not a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from .diagnostics import Diagnostic
+
+__all__ = ["LintCache", "source_hash"]
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+def source_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Per-file diagnostic cache with hit/miss accounting."""
+
+    def __init__(self, path: str = DEFAULT_CACHE_PATH) -> None:
+        self.path = path
+        self._files: dict[str, dict] = {}
+        self._fingerprint: Optional[str] = None
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+            self._fingerprint = data.get("fingerprint")
+
+    # -- lifecycle ------------------------------------------------------
+    def set_fingerprint(self, fingerprint: str) -> None:
+        """Declare this run's environment fingerprint; entries recorded
+        under a different one are discarded wholesale."""
+        if self._fingerprint != fingerprint:
+            if self._files:
+                self._dirty = True
+            self._files = {}
+            self._fingerprint = fingerprint
+
+    def get(self, path: str, source: str) -> Optional[list[Diagnostic]]:
+        """Cached diagnostics for ``path`` if its content is unchanged."""
+        entry = self._files.get(os.path.abspath(path))
+        if entry is not None and entry.get("hash") == source_hash(source):
+            self.hits += 1
+            try:
+                return [Diagnostic.from_dict(d) for d in entry["diags"]]
+            except (KeyError, ValueError, TypeError):
+                pass  # malformed entry: fall through to a miss
+        self.misses += 1
+        return None
+
+    def put(self, path: str, source: str, diags: list[Diagnostic]) -> None:
+        self._files[os.path.abspath(path)] = {
+            "hash": source_hash(source),
+            "diags": [d.as_dict() for d in diags],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self._fingerprint,
+            "files": self._files,
+        }
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:  # best effort: never let cache IO fail a lint run
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self._dirty = False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

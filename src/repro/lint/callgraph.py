@@ -1,0 +1,407 @@
+"""Project-wide call graph with cleanup summaries.
+
+The R5xx lifecycle rules need one interprocedural fact: *does the thing
+I handed this resource to clean it up?*  ``span`` passed to a helper
+that calls ``span.finish()`` is not a leak; a timer attribute whose
+class never ``Environment.cancel``s it is.  This module does one scan
+over the files being linted (the same single-pass pattern as
+``discover_provider_schemas``) and produces:
+
+* a :class:`FnSummary` per module-level function and per method —
+  which positional parameters the function *cleans up* and how
+  (``finish``/``cancel``/``release``/``close``/``unlink``);
+* a :class:`ClassSummary` per class — which ``self.<attr>`` names any
+  method cancels or ``.processed``-checks (the PR-3 leaked-timer
+  remediation shapes);
+* resolved call edges (via :class:`~repro.lint.resolver.ImportResolver`
+  with module context, local defs, and ``self.method`` dispatch) so
+  cleanup facts propagate through one level of fixpoint iteration:
+  a wrapper that forwards its parameter to a cleaner is itself a
+  cleaner.
+
+The graph also exposes a :meth:`ProjectGraph.fingerprint` — the
+incremental cache keys on it, because editing one file can change
+findings in *other* files through these summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+from typing import Iterable, Mapping, Optional
+
+from .resolver import ImportResolver
+
+__all__ = [
+    "FnSummary",
+    "ClassSummary",
+    "ProjectGraph",
+    "build_graph",
+    "module_name_for_path",
+    "CLEANUP_METHODS",
+]
+
+#: method-call-on-parameter names that count as cleaning it up.
+CLEANUP_METHODS = {
+    "finish": "finish",
+    "cancel": "cancel",
+    "release": "release",
+    "close": "close",
+}
+
+#: function(arg) shapes that count as cleaning the argument up, keyed by
+#: the resolved (or bare) callee name suffix.
+CLEANUP_CALLEES = {
+    "os.unlink": "unlink",
+    "os.remove": "unlink",
+    "os.replace": "unlink",
+    "os.rename": "unlink",
+    "os.close": "close",
+    "os.rmdir": "unlink",
+    "shutil.rmtree": "unlink",
+}
+
+
+def module_name_for_path(path: str) -> Optional[str]:
+    """Dotted module name of ``path``, derived by walking up while the
+    parent directory is a package (has ``__init__.py``)."""
+    path = os.path.abspath(path)
+    if not path.endswith(".py"):
+        return None
+    directory, fname = os.path.split(path)
+    parts: list[str] = []
+    if fname != "__init__.py":
+        parts.append(fname[:-3])
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        parts.append(pkg)
+        if not pkg:  # filesystem root, defensive
+            break
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+class FnSummary:
+    """What one function does to its positional parameters."""
+
+    __slots__ = ("qualname", "params", "cleans", "forwards")
+
+    def __init__(self, qualname: str, params: tuple[str, ...]) -> None:
+        self.qualname = qualname
+        self.params = params
+        #: param index -> set of cleanup kinds performed directly
+        self.cleans: dict[int, set[str]] = {}
+        #: (callee key, callee param index, own param index) forwards —
+        #: resolved during fixpoint propagation
+        self.forwards: list[tuple[str, int, int]] = []
+
+    def cleans_param(self, index: int) -> frozenset[str]:
+        return frozenset(self.cleans.get(index, ()))
+
+
+class ClassSummary:
+    """Per-class teardown facts for attribute-held resources."""
+
+    __slots__ = ("qualname", "cancelled_attrs", "processed_checked_attrs",
+                 "finished_attrs")
+
+    def __init__(self, qualname: str) -> None:
+        self.qualname = qualname
+        self.cancelled_attrs: set[str] = set()
+        self.processed_checked_attrs: set[str] = set()
+        self.finished_attrs: set[str] = set()
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The root ``Name`` of an attribute/call chain:
+    ``span.set("k", 1).finish()`` -> ``span``."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            break
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` (possibly deeper: returns the first attribute)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class ProjectGraph:
+    """The one-scan project index the lifecycle rules query."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FnSummary] = {}
+        self.classes: dict[str, ClassSummary] = {}
+        #: bare function/method name -> qualnames (fallback resolution)
+        self.by_name: dict[str, list[str]] = {}
+        self.n_modules = 0
+
+    # -- queries --------------------------------------------------------
+    def function(self, qualname: str) -> Optional[FnSummary]:
+        return self.functions.get(qualname)
+
+    def lookup_bare(self, name: str) -> list[FnSummary]:
+        return [self.functions[q] for q in self.by_name.get(name, ())]
+
+    def class_summary_by_name(self, class_name: str) -> Optional[ClassSummary]:
+        """Match on the trailing class name (rules usually only know the
+        syntactic name); unambiguous matches only."""
+        hits = [
+            c
+            for q, c in self.classes.items()
+            if q.rsplit(".", 1)[-1] == class_name
+        ]
+        return hits[0] if len(hits) == 1 else None
+
+    def callee_cleans(
+        self, call: ast.Call, resolver: ImportResolver, arg_index: int
+    ) -> Optional[frozenset[str]]:
+        """What a call does to its ``arg_index``-th positional argument:
+        a set of cleanup kinds if the callee is known, ``None`` if the
+        callee cannot be resolved (caller should stay conservative)."""
+        summary = self._resolve_callee(call, resolver)
+        if summary is None:
+            return None
+        if (
+            isinstance(call.func, ast.Attribute)
+            and summary.params
+            and summary.params[0] in ("self", "cls")
+        ):
+            # ``obj.method(a, b)``: the receiver is bound, so call-site
+            # argument i lands on parameter i+1.
+            arg_index += 1
+        return summary.cleans_param(arg_index)
+
+    def callee_cleans_keyword(
+        self, call: ast.Call, resolver: ImportResolver, kw_name: str
+    ) -> Optional[frozenset[str]]:
+        """Like :meth:`callee_cleans` for a keyword argument — the name
+        is mapped onto the callee's positional parameter list."""
+        summary = self._resolve_callee(call, resolver)
+        if summary is None:
+            return None
+        try:
+            return summary.cleans_param(summary.params.index(kw_name))
+        except ValueError:
+            return frozenset()  # **kwargs etc.: not a tracked parameter
+
+    def _resolve_callee(
+        self, call: ast.Call, resolver: ImportResolver
+    ) -> Optional[FnSummary]:
+        resolved = resolver.resolve(call.func)
+        if resolved is not None:
+            hit = self.functions.get(resolved)
+            if hit is not None:
+                return hit
+        # self.method(...) / obj.method(...): fall back to a bare-name
+        # match when it is unambiguous project-wide.
+        name = None
+        if isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        elif isinstance(call.func, ast.Name):
+            name = call.func.id
+        if name is not None:
+            candidates = self.lookup_bare(name)
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def fingerprint(self) -> str:
+        """Stable digest of every interprocedural fact; cache entries
+        are only valid while this is unchanged."""
+        h = hashlib.sha256()
+        for q in sorted(self.functions):
+            fn = self.functions[q]
+            h.update(q.encode())
+            for idx in sorted(fn.cleans):
+                h.update(f":{idx}={','.join(sorted(fn.cleans[idx]))}".encode())
+            h.update(b";")
+        for q in sorted(self.classes):
+            c = self.classes[q]
+            h.update(q.encode())
+            h.update(
+                (
+                    "|".join(sorted(c.cancelled_attrs))
+                    + "/"
+                    + "|".join(sorted(c.processed_checked_attrs))
+                    + "/"
+                    + "|".join(sorted(c.finished_attrs))
+                ).encode()
+            )
+            h.update(b";")
+        return h.hexdigest()
+
+
+def _param_names(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> tuple[str, ...]:
+    a = fn.args
+    return tuple(p.arg for p in list(a.posonlyargs) + list(a.args))
+
+
+def _walk_own(node: ast.AST) -> Iterable[ast.AST]:
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        n = stack.pop()
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield n
+        stack.extend(ast.iter_child_nodes(n))
+
+
+def _summarize_function(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    qualname: str,
+    resolver: ImportResolver,
+    module: str,
+    class_name: Optional[str],
+) -> FnSummary:
+    summary = FnSummary(qualname, _param_names(fn))
+    index_of = {p: i for i, p in enumerate(summary.params)}
+    for node in _walk_own(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # param.finish() / param.release() / param.set(...).cancel() ...
+        if isinstance(func, ast.Attribute) and func.attr in CLEANUP_METHODS:
+            root = _root_name(func.value)
+            if root in index_of:
+                summary.cleans.setdefault(index_of[root], set()).add(
+                    CLEANUP_METHODS[func.attr]
+                )
+            continue
+        # os.unlink(param) / env.cancel(param) / shutil.rmtree(param)
+        resolved = resolver.resolve(func)
+        kind = CLEANUP_CALLEES.get(resolved or "")
+        if kind is None and isinstance(func, ast.Attribute):
+            # unresolved receivers: match the bare tail (tempfile/os are
+            # often attributes of an injected module object)
+            for suffix, k in CLEANUP_CALLEES.items():
+                if func.attr == suffix.rsplit(".", 1)[-1]:
+                    kind = k
+                    break
+            if kind is None and func.attr == "cancel":
+                kind = "cancel"  # env.cancel(ev) — Environment.cancel
+        for i, arg in enumerate(node.args):
+            if isinstance(arg, ast.Name) and arg.id in index_of:
+                if kind is not None:
+                    summary.cleans.setdefault(
+                        index_of[arg.id], set()
+                    ).add(kind)
+                else:
+                    # forwarded to another function: record the edge
+                    key = resolved
+                    if key is None:
+                        if isinstance(func, ast.Attribute):
+                            key = func.attr
+                        elif isinstance(func, ast.Name):
+                            key = f"{module}.{func.id}"
+                            if class_name and key not in ("",):
+                                key = key  # local helper; class scope n/a
+                    if key:
+                        summary.forwards.append((key, i, index_of[arg.id]))
+    return summary
+
+
+def _summarize_class_attrs(cls: ast.ClassDef, summary: ClassSummary) -> None:
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            func = node.func
+            # self.X.cancel() / self.X.finish()
+            if isinstance(func, ast.Attribute) and func.attr in CLEANUP_METHODS:
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    if func.attr == "cancel":
+                        summary.cancelled_attrs.add(attr)
+                    elif func.attr == "finish":
+                        summary.finished_attrs.add(attr)
+            # env.cancel(self.X) / self.env.cancel(self.X)
+            if isinstance(func, ast.Attribute) and func.attr == "cancel":
+                for arg in node.args:
+                    attr = _self_attr(arg)
+                    if attr is not None:
+                        summary.cancelled_attrs.add(attr)
+        elif isinstance(node, ast.Attribute) and node.attr == "processed":
+            # `if not self.X.processed:` — the stale-timer guard
+            attr = _self_attr(node.value)
+            if attr is not None:
+                summary.processed_checked_attrs.add(attr)
+
+
+def build_graph(sources: Mapping[str, tuple[str, ast.Module]]) -> ProjectGraph:
+    """Build the project graph from ``{path: (module_name, tree)}``.
+
+    ``module_name`` may be ``None`` for scratch sources; those modules
+    still contribute local functions under a ``<module>`` pseudo-root so
+    intra-file interprocedural facts work in unit tests.
+    """
+    graph = ProjectGraph()
+    for path in sorted(sources):
+        module, tree = sources[path]
+        modname = module or "<module>"
+        is_pkg = os.path.basename(path) == "__init__.py"
+        resolver = ImportResolver(tree, module=module, is_package=is_pkg)
+        graph.n_modules += 1
+
+        def add_fn(fn, qualname, class_name=None):
+            summary = _summarize_function(fn, qualname, resolver, modname, class_name)
+            graph.functions[qualname] = summary
+            graph.by_name.setdefault(fn.name, []).append(qualname)
+
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_fn(node, f"{modname}.{node.name}")
+            elif isinstance(node, ast.ClassDef):
+                cls_q = f"{modname}.{node.name}"
+                cs = ClassSummary(cls_q)
+                _summarize_class_attrs(node, cs)
+                graph.classes[cls_q] = cs
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        add_fn(item, f"{cls_q}.{item.name}", class_name=node.name)
+
+    # Fixpoint: a function that forwards a param to a cleaner cleans it
+    # too.  Cleanup chains in this codebase are short; cap the rounds.
+    for _round in range(4):
+        changed = False
+        for fn in graph.functions.values():
+            for key, callee_idx, own_idx in fn.forwards:
+                callee = graph.functions.get(key)
+                if callee is None:
+                    candidates = graph.by_name.get(key.rsplit(".", 1)[-1], ())
+                    if len(candidates) == 1:
+                        callee = graph.functions[candidates[0]]
+                if callee is None:
+                    continue
+                # method calls: account for the implicit `self` slot
+                idx = callee_idx
+                if callee.params[:1] == ("self",):
+                    idx += 1
+                kinds = callee.cleans.get(idx)
+                if kinds:
+                    mine = fn.cleans.setdefault(own_idx, set())
+                    if not kinds <= mine:
+                        mine |= kinds
+                        changed = True
+        if not changed:
+            break
+    return graph
+
+
+def build_graph_for_trees(
+    trees: Mapping[str, ast.Module]
+) -> ProjectGraph:
+    """Convenience wrapper: derive module names from paths."""
+    return build_graph(
+        {p: (module_name_for_path(p), t) for p, t in trees.items()}
+    )

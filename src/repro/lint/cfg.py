@@ -1,0 +1,563 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+The v3 rule packs (R5xx resource lifecycle, P6xx hot-path perf) need to
+reason about *paths*, not statements: "is this span finished on every
+edge that leaves the function?", "can this temp file escape to the
+exceptional exit without an unlink?".  This module builds a small,
+deliberately explicit CFG for one function:
+
+* one :class:`Block` per simple statement (plus synthetic ``entry``,
+  ``exit`` and ``raise`` blocks), so tests can assert edge sets against
+  hand-checked fixtures;
+* **exception edges** (kind ``"exc"``) from every statement that can
+  raise to the innermost handler entries, through ``finally`` bodies,
+  and ultimately to the ``raise`` exit;
+* **finally routing**: ``return``/``break``/``continue`` and exception
+  propagation all pass through enclosing ``finally`` bodies before
+  reaching their targets, and a ``finally`` body that itself terminates
+  (``return`` inside ``finally``) correctly swallows the pending
+  exception — no edge to the ``raise`` exit survives;
+* **with cleanup blocks**: every exit from a ``with`` body (normal or
+  exceptional) passes through a synthetic cleanup block representing
+  ``__exit__``, so "was this protected by a context manager?" is a
+  plain path query;
+* **generator yield points**: blocks whose statement contains a
+  ``yield``/``await`` at the function's own nesting level are marked,
+  and carry exception edges (the kernel may throw into a suspended
+  process).
+
+Nested ``def``/``class`` bodies are *not* part of the enclosing CFG —
+they only bind a name here and get their own CFG when the analyzer
+visits them.
+
+Approximations (documented, deliberate): handler dispatch connects a
+raising block to **every** handler entry of the enclosing ``try`` (no
+type matching); a "handler may not match" edge escapes outward from the
+last handler unless it catches ``Exception``/``BaseException``/bare;
+``finally`` bodies are built once with the union of their continuations
+rather than duplicated per path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable, Optional, Union
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Statement types that can never raise on their own.
+_SAFE_STMTS = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+#: Expression node types whose evaluation can raise (used to decide
+#: whether a block needs an exception edge).
+_RAISING_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Await,
+    ast.FormattedValue,
+    ast.comprehension,
+)
+
+
+def _walk_own(node: ast.AST) -> Iterable[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class
+    bodies (their code runs in another frame)."""
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+                yield child  # the binding itself is visible, its body is not
+                continue
+            stack.append(child)
+
+
+class Block:
+    """One CFG node.
+
+    ``stmts`` holds the AST statement(s) the block stands for; ``nodes``
+    holds only what is *semantically evaluated* here (an ``If`` block
+    evaluates just its test — the branch bodies live in their own
+    blocks), so rules can scan ``nodes`` without seeing child blocks'
+    code.
+    """
+
+    __slots__ = ("bid", "label", "kind", "stmts", "nodes", "succ", "pred")
+
+    def __init__(self, bid: int, label: str, kind: str = "stmt") -> None:
+        self.bid = bid
+        self.label = label
+        self.kind = kind  # entry | exit | raise | stmt | handler | cleanup | finally
+        self.stmts: list[ast.AST] = []
+        self.nodes: list[ast.AST] = []
+        self.succ: list[tuple["Block", str]] = []
+        self.pred: list[tuple["Block", str]] = []
+
+    @property
+    def stmt(self) -> Optional[ast.AST]:
+        return self.stmts[0] if self.stmts else None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    @property
+    def has_yield(self) -> bool:
+        """A generator suspension point at the function's own level."""
+        for part in self.nodes:
+            for sub in _walk_own(part):
+                if isinstance(sub, (ast.Yield, ast.YieldFrom, ast.Await)):
+                    return True
+        return False
+
+    @property
+    def can_raise(self) -> bool:
+        if self.kind in ("entry", "exit", "raise"):
+            return False
+        for part in self.nodes:
+            if isinstance(part, _RAISING_EXPRS):
+                return True
+            for sub in _walk_own(part):
+                if isinstance(sub, _RAISING_EXPRS):
+                    return True
+        return self.kind == "handler" or isinstance(
+            self.stmt, (ast.Raise, ast.Assert)
+        )
+
+    def walk_nodes(self) -> Iterable[ast.AST]:
+        """All AST nodes evaluated in this block (own nesting level)."""
+        for part in self.nodes:
+            yield from _walk_own(part)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.label} ({self.kind})>"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: FuncNode) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self._labels: dict[str, int] = {}
+        self._by_stmt: dict[int, Block] = {}
+        self.entry = self.new_block("entry", kind="entry")
+        self.exit = self.new_block("exit", kind="exit")
+        self.raise_exit = self.new_block("raise", kind="raise")
+
+    # -- construction ------------------------------------------------------
+    def new_block(self, label: str, kind: str = "stmt") -> Block:
+        # Disambiguate labels (two statements can share a line only in
+        # pathological one-liners, but synthetic blocks reuse lines).
+        n = self._labels.get(label, 0)
+        self._labels[label] = n + 1
+        if n:
+            label = f"{label}.{n}"
+        b = Block(len(self.blocks), label, kind)
+        self.blocks.append(b)
+        return b
+
+    def add_edge(self, src: Block, dst: Block, kind: str = "next") -> None:
+        if (dst, kind) not in src.succ:
+            src.succ.append((dst, kind))
+            dst.pred.append((src, kind))
+
+    def map_stmt(self, stmt: ast.AST, block: Block) -> None:
+        self._by_stmt[id(stmt)] = block
+
+    # -- queries -----------------------------------------------------------
+    def block_of(self, stmt: ast.AST) -> Optional[Block]:
+        return self._by_stmt.get(id(stmt))
+
+    def edge_set(self) -> set[tuple[str, str, str]]:
+        """``{(src_label, dst_label, kind)}`` — the hand-checkable view."""
+        out: set[tuple[str, str, str]] = set()
+        for b in self.blocks:
+            for dst, kind in b.succ:
+                out.add((b.label, dst.label, kind))
+        return out
+
+    @property
+    def yield_blocks(self) -> list[Block]:
+        return [b for b in self.blocks if b.has_yield]
+
+    def find_path(
+        self,
+        start: Block,
+        goals: "Iterable[Block] | Block",
+        avoid: Optional[Callable[[Block], bool]] = None,
+    ) -> Optional[list[Block]]:
+        """A path from ``start`` to any goal block, never *traversing* a
+        block where ``avoid`` holds (``start`` itself is exempt; a goal
+        is accepted before its ``avoid`` status is consulted).  Returns
+        the block list including both endpoints, or ``None``.
+        Deterministic: successors are explored in insertion order.
+        """
+        goal_set = {goals} if isinstance(goals, Block) else set(goals)
+        if start in goal_set:
+            return [start]
+        seen = {start}
+        stack: list[tuple[Block, list[Block]]] = [(start, [start])]
+        while stack:
+            block, path = stack.pop()
+            for dst, _kind in reversed(block.succ):
+                if dst in goal_set:
+                    return path + [dst]
+                if dst in seen:
+                    continue
+                if avoid is not None and avoid(dst):
+                    continue
+                seen.add(dst)
+                stack.append((dst, path + [dst]))
+        return None
+
+    def reachable_without(
+        self,
+        start: Block,
+        avoid: Optional[Callable[[Block], bool]] = None,
+    ) -> list[Block]:
+        """All blocks reachable from ``start`` without traversing an
+        avoided block (``start`` excluded from the result)."""
+        seen = {start}
+        out: list[Block] = []
+        stack = [start]
+        while stack:
+            block = stack.pop()
+            for dst, _kind in reversed(block.succ):
+                if dst in seen:
+                    continue
+                seen.add(dst)
+                if avoid is not None and avoid(dst):
+                    continue
+                out.append(dst)
+                stack.append(dst)
+        return out
+
+
+# -- exception-context frames ------------------------------------------------
+
+
+class _HandlerFrame:
+    """A ``try`` with except clauses: raising blocks jump to the handler
+    entries; the last entry leaks outward unless it is a catch-all."""
+
+    __slots__ = ("entries", "catch_all")
+
+    def __init__(self, entries: list[Block], catch_all: bool) -> None:
+        self.entries = entries
+        self.catch_all = catch_all
+
+
+class _FinallyFrame:
+    """A pending ``finally`` body.  Continuations accumulate while the
+    protected region builds; the body is built once and wired to every
+    continuation afterwards."""
+
+    __slots__ = ("entry", "continuations", "frontier")
+
+    def __init__(self, entry: Block) -> None:
+        self.entry = entry
+        #: (target, kind) pairs; target is a Block or a routing token
+        #: ("exc", stack_tuple) / ("break"|"continue", loop_frame).
+        self.continuations: list[tuple[object, str]] = []
+        self.frontier: list[tuple[Block, str]] = []
+
+
+class _CleanupFrame:
+    """A ``with`` body: every exception passes its cleanup block."""
+
+    __slots__ = ("block",)
+
+    def __init__(self, block: Block) -> None:
+        self.block = block
+
+
+class _LoopFrame:
+    __slots__ = ("head", "break_frontier", "depth")
+
+    def __init__(self, head: Block, depth: int) -> None:
+        self.head = head
+        self.break_frontier: list[tuple[Block, str]] = []
+        self.depth = depth  # exception-stack depth at loop entry
+
+
+_Frontier = list  # list[tuple[Block, str]]
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.stack: list[object] = []  # _HandlerFrame | _FinallyFrame | _CleanupFrame
+        self.loops: list[_LoopFrame] = []
+
+    # -- frontier plumbing -------------------------------------------------
+    def _connect(self, frontier: _Frontier, block: Block) -> None:
+        for src, kind in frontier:
+            self.cfg.add_edge(src, block, kind)
+
+    def _stmt_block(self, stmt: ast.stmt, frontier: _Frontier, nodes=None) -> Block:
+        b = self.cfg.new_block(f"L{stmt.lineno}")
+        b.stmts = [stmt]
+        b.nodes = list(nodes) if nodes is not None else [stmt]
+        self.cfg.map_stmt(stmt, b)
+        self._connect(frontier, b)
+        if b.can_raise:
+            self._exc_route(b, tuple(self.stack))
+        return b
+
+    # -- exception routing -------------------------------------------------
+    def _exc_route(self, src: Block, stack: tuple) -> None:
+        """Wire ``src``'s exception edge through the given context
+        stack (innermost last)."""
+        for i in range(len(stack) - 1, -1, -1):
+            frame = stack[i]
+            if isinstance(frame, _HandlerFrame):
+                for entry in frame.entries:
+                    self.cfg.add_edge(src, entry, "exc")
+                return
+            if isinstance(frame, _FinallyFrame):
+                self.cfg.add_edge(src, frame.entry, "exc")
+                frame.continuations.append((("exc", stack[:i]), "exc"))
+                return
+            if isinstance(frame, _CleanupFrame):
+                self.cfg.add_edge(src, frame.block, "exc")
+                return
+        self.cfg.add_edge(src, self.cfg.raise_exit, "exc")
+
+    def _unwind(self, block: Block, target: object, kind: str) -> None:
+        """Route a ``return``/``break``/``continue`` from ``block`` to
+        ``target`` through every enclosing finally/cleanup (for break
+        and continue, only frames inside the loop)."""
+        depth0 = 0
+        if isinstance(target, tuple) and target[0] in ("break", "continue"):
+            depth0 = target[1].depth
+        frontier: _Frontier = [(block, kind)]
+        for i in range(len(self.stack) - 1, depth0 - 1, -1):
+            frame = self.stack[i]
+            if isinstance(frame, _FinallyFrame):
+                self._connect(frontier, frame.entry)
+                frame.continuations.append((self._strip(target), kind))
+                return
+            if isinstance(frame, _CleanupFrame):
+                self._connect(frontier, frame.block)
+                frontier = [(frame.block, kind)]
+        self._deliver(frontier, self._strip(target), kind)
+
+    @staticmethod
+    def _strip(target: object) -> object:
+        return target
+
+    def _deliver(self, frontier: _Frontier, target: object, kind: str) -> None:
+        if isinstance(target, Block):
+            self._connect(frontier, target)
+        elif isinstance(target, tuple) and target[0] == "exc":
+            for src, _k in frontier:
+                self._exc_route(src, target[1])
+        elif isinstance(target, tuple) and target[0] == "break":
+            target[1].break_frontier.extend(frontier)
+        elif isinstance(target, tuple) and target[0] == "continue":
+            for src, _k in frontier:
+                self.cfg.add_edge(src, target[1].head, "back")
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"bad routing target {target!r}")
+
+    # -- statement dispatch ------------------------------------------------
+    def body(self, stmts: Iterable[ast.stmt], frontier: _Frontier) -> _Frontier:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable tail (after return/raise/...)
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(self, node: ast.stmt, frontier: _Frontier) -> _Frontier:
+        if isinstance(node, ast.If):
+            return self._if(node, frontier)
+        if isinstance(node, (ast.While,)):
+            return self._while(node, frontier)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._for(node, frontier)
+        if isinstance(node, ast.Try):
+            return self._try(node, frontier)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._with(node, frontier)
+        if isinstance(node, ast.Return):
+            b = self._stmt_block(node, frontier)
+            self._unwind(b, self.cfg.exit, "next")
+            return []
+        if isinstance(node, ast.Raise):
+            b = self._stmt_block(node, frontier)
+            # can_raise already routed the edge; a bare block (raise of
+            # a plain name) still must leave exceptionally.
+            if not b.can_raise:
+                self._exc_route(b, tuple(self.stack))
+            return []
+        if isinstance(node, ast.Break):
+            b = self._stmt_block(node, frontier)
+            self._unwind(b, ("break", self.loops[-1]), "next")
+            return []
+        if isinstance(node, ast.Continue):
+            b = self._stmt_block(node, frontier)
+            self._unwind(b, ("continue", self.loops[-1]), "back")
+            return []
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Binds a name; the body runs elsewhere.  Decorators and
+            # defaults do evaluate here.
+            nodes = list(node.decorator_list)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nodes += list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+            b = self._stmt_block(node, frontier, nodes=nodes)
+            return [(b, "next")]
+        b = self._stmt_block(node, frontier)
+        return [(b, "next")]
+
+    # -- compound statements ----------------------------------------------
+    def _if(self, node: ast.If, frontier: _Frontier) -> _Frontier:
+        test = self._stmt_block(node, frontier, nodes=[node.test])
+        out = self.body(node.body, [(test, "next")])
+        if node.orelse:
+            out = out + self.body(node.orelse, [(test, "next")])
+        else:
+            out = out + [(test, "next")]
+        return out
+
+    def _while(self, node: ast.While, frontier: _Frontier) -> _Frontier:
+        head = self._stmt_block(node, frontier, nodes=[node.test])
+        always = isinstance(node.test, ast.Constant) and bool(node.test.value)
+        loop = _LoopFrame(head, len(self.stack))
+        self.loops.append(loop)
+        body_out = self.body(node.body, [(head, "next")])
+        for src, _k in body_out:
+            self.cfg.add_edge(src, head, "back")
+        self.loops.pop()
+        out: _Frontier = list(loop.break_frontier)
+        if not always:
+            if node.orelse:
+                out += self.body(node.orelse, [(head, "next")])
+            else:
+                out += [(head, "next")]
+        return out
+
+    def _for(self, node: "ast.For | ast.AsyncFor", frontier: _Frontier) -> _Frontier:
+        head = self._stmt_block(node, frontier, nodes=[node.iter, node.target])
+        loop = _LoopFrame(head, len(self.stack))
+        self.loops.append(loop)
+        body_out = self.body(node.body, [(head, "next")])
+        for src, _k in body_out:
+            self.cfg.add_edge(src, head, "back")
+        self.loops.pop()
+        out: _Frontier = list(loop.break_frontier)
+        if node.orelse:
+            out += self.body(node.orelse, [(head, "next")])
+        else:
+            out += [(head, "next")]
+        return out
+
+    def _with(self, node: "ast.With | ast.AsyncWith", frontier: _Frontier) -> _Frontier:
+        nodes: list[ast.AST] = []
+        for item in node.items:
+            nodes.append(item.context_expr)
+            if item.optional_vars is not None:
+                nodes.append(item.optional_vars)
+        header = self._stmt_block(node, frontier, nodes=nodes)
+        cleanup = self.cfg.new_block(f"W{node.lineno}", kind="cleanup")
+        cleanup.stmts = [node]
+        self.stack.append(_CleanupFrame(cleanup))
+        body_out = self.body(node.body, [(header, "next")])
+        self.stack.pop()
+        self._connect(body_out, cleanup)
+        # __exit__ re-raises anything it was entered with.
+        self._exc_route(cleanup, tuple(self.stack))
+        return [(cleanup, "next")]
+
+    @staticmethod
+    def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names = (
+            [n for n in handler.type.elts]
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for n in names:
+            ident = n.id if isinstance(n, ast.Name) else getattr(n, "attr", None)
+            if ident in ("Exception", "BaseException"):
+                return True
+        return False
+
+    def _try(self, node: ast.Try, frontier: _Frontier) -> _Frontier:
+        fin: Optional[_FinallyFrame] = None
+        if node.finalbody:
+            fin = _FinallyFrame(self.cfg.new_block(f"F{node.lineno}", kind="finally"))
+            fin.entry.stmts = [node]
+            self.stack.append(fin)
+
+        handler_entries: list[Block] = []
+        for h in node.handlers:
+            entry = self.cfg.new_block(f"H{h.lineno}", kind="handler")
+            entry.stmts = [h]
+            entry.nodes = [h.type] if h.type is not None else []
+            self.cfg.map_stmt(h, entry)
+            handler_entries.append(entry)
+
+        if handler_entries:
+            self.stack.append(
+                _HandlerFrame(
+                    handler_entries,
+                    catch_all=any(self._is_catch_all(h) for h in node.handlers),
+                )
+            )
+        body_out = self.body(node.body, frontier)
+        if handler_entries:
+            self.stack.pop()
+
+        # else clause: after the body completed without an exception.
+        if node.orelse:
+            body_out = self.body(node.orelse, body_out)
+
+        # handler bodies: exceptions inside them go to finally/outer.
+        handler_out: _Frontier = []
+        for h, entry in zip(node.handlers, handler_entries):
+            handler_out += self.body(h.body, [(entry, "next")])
+        if handler_entries and not self._is_catch_all(node.handlers[-1]):
+            # no handler matched: keep propagating.
+            self._exc_route(handler_entries[-1], tuple(self.stack))
+
+        normal_out = body_out + handler_out
+        if fin is None:
+            return normal_out
+
+        self.stack.pop()  # the finally frame
+        self._connect(normal_out, fin.entry)
+        fin.frontier = self.body(node.finalbody, [(fin.entry, "next")])
+        # Wire the collected continuations; a finally body that
+        # terminated (returned/raised) has an empty frontier and
+        # swallows them all.  Block/loop targets re-unwind from here so
+        # they still pass through any *outer* finally bodies; exception
+        # continuations carry their own context snapshot.
+        for target, kind in fin.continuations:
+            for src, _k in fin.frontier:
+                if isinstance(target, tuple) and target[0] == "exc":
+                    self._exc_route(src, target[1])
+                else:
+                    self._unwind(src, target, kind)
+        return list(fin.frontier)
+
+
+def build_cfg(func: FuncNode) -> CFG:
+    """Build the CFG of one function's own body."""
+    cfg = CFG(func)
+    builder = _Builder(cfg)
+    out = builder.body(func.body, [(cfg.entry, "next")])
+    builder._connect(out, cfg.exit)  # falling off the end returns None
+    return cfg

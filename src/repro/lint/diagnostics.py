@@ -68,6 +68,18 @@ class Diagnostic:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Diagnostic":
+        """Inverse of :meth:`as_dict` (used by the incremental cache)."""
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule_id=data["rule"],
+            severity=Severity.parse(data["severity"]),
+            message=data["message"],
+        )
+
 
 #: SARIF's result levels for our two severities.
 _SARIF_LEVELS = {Severity.WARNING: "warning", Severity.ERROR: "error"}

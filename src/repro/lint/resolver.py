@@ -17,12 +17,29 @@ __all__ = ["ImportResolver"]
 
 
 class ImportResolver:
-    """Maps names in a parsed module back to canonical dotted paths."""
+    """Maps names in a parsed module back to canonical dotted paths.
 
-    def __init__(self, tree: ast.AST) -> None:
+    ``module`` (optional) is the dotted name of the module being
+    analyzed (``"repro.chaos.controller"``); with it, relative imports
+    resolve to absolute names too: ``from .gate import ServiceGate``
+    inside ``repro.chaos.controller`` binds ``ServiceGate`` to
+    ``repro.chaos.gate.ServiceGate``, so the call-graph layer sees
+    intra-package edges instead of silently dropping them.  Set
+    ``is_package`` when the module is a package ``__init__`` (one fewer
+    level to strip).  Without ``module``, relative imports are skipped,
+    matching the historical behaviour.
+    """
+
+    def __init__(
+        self,
+        tree: ast.AST,
+        module: Optional[str] = None,
+        is_package: bool = False,
+    ) -> None:
         #: local alias -> canonical dotted prefix ("np" -> "numpy",
         #: "monotonic" -> "time.monotonic")
         self.aliases: dict[str, str] = {}
+        self.module = module
         shadowed: set[str] = set()
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -31,13 +48,17 @@ class ImportResolver:
                     # `import a.b` binds `a`; `import a.b as c` binds c -> a.b
                     self.aliases[local] = a.name if a.asname else a.name.split(".")[0]
             elif isinstance(node, ast.ImportFrom):
-                if node.level:  # relative import: stays package-internal
-                    continue
+                base = node.module or ""
+                if node.level:
+                    prefix = self._relative_base(node.level, module, is_package)
+                    if prefix is None:
+                        continue  # no module context: stays unresolved
+                    base = f"{prefix}.{base}" if base else prefix
                 for a in node.names:
                     if a.name == "*":
                         continue
                     local = a.asname or a.name
-                    self.aliases[local] = f"{node.module}.{a.name}"
+                    self.aliases[local] = f"{base}.{a.name}"
             elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
                 targets = (
                     node.targets if isinstance(node, ast.Assign) else [node.target]
@@ -47,6 +68,24 @@ class ImportResolver:
                         shadowed.add(t.id)
         for name in shadowed:
             self.aliases.pop(name, None)
+
+    @staticmethod
+    def _relative_base(
+        level: int, module: Optional[str], is_package: bool
+    ) -> Optional[str]:
+        """Absolute package prefix a ``from ...x import y`` refers to.
+
+        ``level`` dots climb ``level`` packages up from the current
+        module (a package ``__init__`` already *is* its package, so it
+        climbs one fewer).
+        """
+        if not module:
+            return None
+        parts = module.split(".")
+        drop = level if not is_package else level - 1
+        if drop >= len(parts):
+            return None  # climbs above the top-level package
+        return ".".join(parts[: len(parts) - drop]) if drop else module
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted name for a ``Name``/``Attribute`` chain, or

@@ -8,6 +8,9 @@ registry.  Three packs, id-spaced by concern:
 * ``F3xx`` — flow-definition validation (:mod:`.flowdef`)
 * ``F4xx`` — whole-flow payload dataflow (:mod:`.dataflow`) and
   fault-path resilience (:mod:`.resilience`)
+* ``R5xx`` — resource lifecycle over the CFG/call-graph engine
+  (:mod:`.lifecycle`)
+* ``P6xx`` — hot-path performance candidates (:mod:`.hotpath`)
 """
 
 from __future__ import annotations
@@ -17,6 +20,8 @@ from . import (  # noqa: F401  (registration)
     des_safety,
     determinism,
     flowdef,
+    hotpath,
+    lifecycle,
     resilience,
 )
 from .dataflow import (
@@ -41,6 +46,13 @@ from .flowdef import (
     UnknownProvider,
     UnreachableState,
 )
+from .hotpath import HotpathAllocation, InvariantLoopLookup, PerElementArrayLoop
+from .lifecycle import (
+    HeldRequestAcrossYield,
+    LeakedScheduledEvent,
+    SpanLeak,
+    TempFileLeak,
+)
 from .resilience import SwallowedFaultSignal
 
 __all__ = [
@@ -63,4 +75,11 @@ __all__ = [
     "PayloadTypeConflict",
     "UndeclaredProviderSchema",
     "SwallowedFaultSignal",
+    "LeakedScheduledEvent",
+    "SpanLeak",
+    "TempFileLeak",
+    "HeldRequestAcrossYield",
+    "HotpathAllocation",
+    "PerElementArrayLoop",
+    "InvariantLoopLookup",
 ]

@@ -1,0 +1,336 @@
+"""P6xx — hot-path performance rules.
+
+The ROADMAP's "next 10x on the hot paths" item: the DES kernel inner
+loop and the instrument/analysis data plane are the two places profile
+time actually goes.  These rules are warnings, not errors — they flag
+*candidates* (and are scoped tightly so they stay quiet elsewhere):
+
+* **P601** fires only inside functions marked ``# repro: hotpath`` and
+  flags per-call closure creation and per-iteration container
+  allocation — both showed up in the fast-path kernel work (PR 5).
+* **P602** fires only under ``repro/instrument`` and ``repro/analysis``
+  and flags per-element Python loops over arrays (``m[i, j]`` inside a
+  ``range`` loop, chained ``[i][j]`` indexing) — whole-frame iteration
+  like ``data[t]`` is deliberately not flagged.
+* **P603** fires only in hot functions and flags invariant attribute
+  chains (``self.a.b``) re-looked-up on every iteration of a yield-free
+  loop — the classic hoist-to-local before a kernel loop.
+
+The ``# repro: hotpath`` marker goes on the ``def`` line, the line
+above it, or the first body line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..analyzer import FileContext, Rule, register
+from ..diagnostics import Severity
+
+__all__ = ["HotpathAllocation", "PerElementArrayLoop", "InvariantLoopLookup"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_DATA_PLANE_DIRS = ("instrument", "analysis")
+
+
+def _walk_own_level(node: ast.AST) -> Iterable[ast.AST]:
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        n = stack.pop()
+        if isinstance(n, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+            yield n  # the binding is visible; the body is another frame
+            continue
+        yield n
+        stack.extend(ast.iter_child_nodes(n))
+
+
+def _in_data_plane(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(d in parts for d in _DATA_PLANE_DIRS)
+
+
+@register
+class HotpathAllocation(Rule):
+    """Allocation/closure creation inside ``# repro: hotpath`` code."""
+
+    rule_id = "P601"
+    severity = Severity.WARNING
+    summary = "allocation or closure creation in a hotpath function"
+    interests = _FUNC_NODES
+
+    def visit(self, ctx: FileContext, fn: ast.AST) -> None:
+        if not ctx.is_hotpath(fn):
+            return
+        for node in _walk_own_level(fn):
+            if isinstance(node, _FUNC_NODES + (ast.Lambda,)):
+                what = (
+                    "lambda"
+                    if isinstance(node, ast.Lambda)
+                    else f"nested def '{node.name}'"
+                )
+                ctx.report(
+                    self,
+                    node,
+                    f"{what} is created on every call of a hotpath "
+                    "function — hoist it to module or class level",
+                )
+        for loop in _walk_own_level(fn):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in self._loop_body_allocs(loop):
+                ctx.report(
+                    self,
+                    node,
+                    f"{self._describe(node)} allocated on every iteration "
+                    "of a hot loop — hoist or reuse it",
+                )
+
+    @staticmethod
+    def _loop_body_allocs(loop: ast.AST) -> list[ast.AST]:
+        """Container displays/comprehensions in the *innermost* loop
+        that contains them (so nested loops report each site once)."""
+        out = []
+        allocs = (
+            ast.ListComp,
+            ast.SetComp,
+            ast.DictComp,
+            ast.GeneratorExp,
+            ast.List,
+            ast.Dict,
+            ast.Set,
+        )
+        parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(loop):
+            for child in ast.iter_child_nodes(parent):
+                parents[id(child)] = parent
+        body = list(loop.body)
+        stack = list(body)
+        while stack:
+            n = stack.pop()
+            if isinstance(n, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+                continue
+            if isinstance(n, allocs):
+                # innermost-loop check: nearest enclosing loop is `loop`
+                p = parents.get(id(n))
+                nearest = None
+                while p is not None:
+                    if isinstance(p, (ast.For, ast.While)):
+                        nearest = p
+                        break
+                    p = parents.get(id(p))
+                if nearest is loop:
+                    out.append(n)
+            stack.extend(ast.iter_child_nodes(n))
+        return sorted(out, key=lambda n: (n.lineno, n.col_offset))
+
+    @staticmethod
+    def _describe(node: ast.AST) -> str:
+        return {
+            ast.ListComp: "list comprehension",
+            ast.SetComp: "set comprehension",
+            ast.DictComp: "dict comprehension",
+            ast.GeneratorExp: "generator expression",
+            ast.List: "list literal",
+            ast.Dict: "dict literal",
+            ast.Set: "set literal",
+        }[type(node)]
+
+
+@register
+class PerElementArrayLoop(Rule):
+    """Per-element Python loops over arrays in the data plane — the
+    vectorization candidates behind the data-plane 10x item."""
+
+    rule_id = "P602"
+    severity = Severity.WARNING
+    summary = "per-element Python loop over an array (vectorize instead)"
+    interests = (ast.For,)
+
+    def visit(self, ctx: FileContext, loop: ast.For) -> None:
+        if not _in_data_plane(ctx.path):
+            return
+        if not (
+            isinstance(loop.iter, ast.Call)
+            and isinstance(loop.iter.func, ast.Name)
+            and loop.iter.func.id == "range"
+        ):
+            return
+        if not isinstance(loop.target, ast.Name):
+            return
+        var = loop.target.id
+        flagged: set[str] = set()
+        for node in self._body_walk(loop):
+            base = self._element_access(node, var)
+            if base is not None and base not in flagged:
+                # only the innermost loop reports a given access
+                if self._nearest_loop(ctx, node) is loop:
+                    flagged.add(base)
+                    ctx.report(
+                        self,
+                        loop,
+                        f"per-element indexing of '{base}' with loop "
+                        f"variable '{var}' — replace the Python loop "
+                        "with vectorized array ops",
+                    )
+
+    @staticmethod
+    def _body_walk(loop: ast.For) -> Iterable[ast.AST]:
+        stack = list(loop.body)
+        while stack:
+            n = stack.pop()
+            if isinstance(n, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+                continue
+            yield n
+            stack.extend(ast.iter_child_nodes(n))
+
+    @staticmethod
+    def _nearest_loop(ctx: FileContext, node: ast.AST) -> Optional[ast.AST]:
+        p = ctx.parent(node)
+        while p is not None:
+            if isinstance(p, (ast.For, ast.While)):
+                return p
+            p = ctx.parent(p)
+        return None
+
+    @staticmethod
+    def _element_access(node: ast.AST, var: str) -> Optional[str]:
+        """``base[..., var, ...]`` tuple indexing or chained
+        ``base[u][var]`` — returns the base's dotted-ish name."""
+        if not isinstance(node, ast.Subscript):
+            return None
+        sl = node.slice
+        uses_var = (
+            isinstance(sl, ast.Tuple)
+            and any(
+                isinstance(e, ast.Name) and e.id == var for e in sl.elts
+            )
+        ) or (
+            isinstance(sl, ast.Name)
+            and sl.id == var
+            and isinstance(node.value, ast.Subscript)
+        )
+        if not uses_var:
+            return None
+        base = node.value
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        parts = []
+        while isinstance(base, ast.Attribute):
+            parts.append(base.attr)
+            base = base.value
+        if isinstance(base, ast.Name):
+            parts.append(base.id)
+            return ".".join(reversed(parts))
+        return None
+
+
+@register
+class InvariantLoopLookup(Rule):
+    """Loop-invariant attribute chains re-resolved every iteration of a
+    hot, yield-free loop."""
+
+    rule_id = "P603"
+    severity = Severity.WARNING
+    summary = "invariant attribute lookups inside a hot loop"
+    interests = (ast.For, ast.While)
+
+    def visit(self, ctx: FileContext, loop: ast.AST) -> None:
+        fn = ctx.enclosing_function
+        if fn is None or not ctx.is_hotpath(fn):
+            return
+        # only the outermost hot loop reports (avoid duplicate findings
+        # for the same chain from every nesting level)
+        p = ctx.parent(loop)
+        while p is not None and p is not fn:
+            if isinstance(p, (ast.For, ast.While)):
+                return
+            p = ctx.parent(p)
+        body = self._own_body(loop)
+        if any(
+            isinstance(n, (ast.Yield, ast.YieldFrom, ast.Await)) for n in body
+        ):
+            return  # a suspension point can invalidate anything
+        assigned = self._assigned_names(loop, body)
+        counts: dict[str, int] = {}
+        lines: dict[str, int] = {}
+        for node in body:
+            if not isinstance(node, ast.Attribute):
+                continue
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.Call) and parent.func is node:
+                continue  # the method name itself, not a data lookup
+            if isinstance(parent, ast.Attribute) and not (
+                isinstance(ctx.parent(parent), ast.Call)
+                and ctx.parent(parent).func is parent
+            ):
+                continue  # inner link of a longer chain: count it once
+            chain = self._pure_chain(node)
+            if chain is None or len(chain) < 3:  # root + >= 2 attrs
+                continue
+            if chain[0] in assigned:
+                continue
+            dotted = ".".join(chain)
+            counts[dotted] = counts.get(dotted, 0) + 1
+            lines.setdefault(dotted, node.lineno)
+        for dotted in sorted(counts):
+            if counts[dotted] >= 2:
+                ctx.report(
+                    self,
+                    loop,
+                    f"'{dotted}' is looked up {counts[dotted]}x per "
+                    "iteration but never changes in the loop — hoist it "
+                    "to a local before the loop",
+                )
+
+    @staticmethod
+    def _own_body(loop: ast.AST) -> list[ast.AST]:
+        out = []
+        stack = list(loop.body) + list(getattr(loop, "orelse", []))
+        while stack:
+            n = stack.pop()
+            if isinstance(n, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+                continue
+            out.append(n)
+            stack.extend(ast.iter_child_nodes(n))
+        return out
+
+    @staticmethod
+    def _assigned_names(loop: ast.AST, body: list[ast.AST]) -> set[str]:
+        names: set[str] = set()
+        if isinstance(loop, ast.For):
+            for n in ast.walk(loop.target):
+                if isinstance(n, ast.Name):
+                    names.add(n.id)
+        for node in body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for t in targets:
+                    for n in ast.walk(t):
+                        if isinstance(n, ast.Name):
+                            names.add(n.id)
+            elif isinstance(node, ast.For):
+                for n in ast.walk(node.target):
+                    if isinstance(n, ast.Name):
+                        names.add(n.id)
+        return names
+
+    @staticmethod
+    def _pure_chain(node: ast.Attribute) -> Optional[list[str]]:
+        """``["self", "a", "b"]`` for ``self.a.b``; None if the chain
+        passes through calls/subscripts."""
+        parts = []
+        cur: ast.AST = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        return list(reversed(parts))

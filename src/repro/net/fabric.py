@@ -291,6 +291,7 @@ class NetworkFabric:
                         stack.append(other)
         return [streams[sid] for sid in sorted(comp)]
 
+    # repro: hotpath
     def _reallocate(self, seeds: "Iterable[int] | None" = None) -> None:
         """Settle, then recompute fair shares.
 

@@ -238,7 +238,8 @@ class Process(Event):
         event._value = Interrupt(cause)
         event._defused = True
         event.callbacks.append(self._deliver_interrupt)
-        self.env.schedule(event, priority=URGENT)
+        # kernel-internal: the queue consumes the interrupt at delivery
+        self.env.schedule(event, priority=URGENT)  # repro: noqa[R501]
 
     def _deliver_interrupt(self, event: Event) -> None:
         if not self.is_alive:
@@ -996,6 +997,7 @@ class Environment:
             )
         return None
 
+    # repro: hotpath
     def _run_fast(self) -> None:
         """Drain the queue without per-event observer checks.
 

@@ -152,6 +152,7 @@ class TransferService:
         # The task span opens at ``requested_at`` and closes exactly at
         # ``completed_at`` so its duration equals ``task.duration`` — the
         # provider-reported active time the Fig. 4 gate checks against.
+        self._m_submitted.inc()
         span = (
             self.tracer.start("transfer.task")
             .set("action_id", task.task_id)
@@ -159,7 +160,6 @@ class TransferService:
             .set("dst", dest_endpoint)
             .set("bytes", float(source_file.size_bytes))
         )
-        self._m_submitted.inc()
         self.env.process(self._execute(task, src, dst, span))
         return task.task_id
 
@@ -216,62 +216,69 @@ class TransferService:
             attempt_span = self.tracer.start("transfer.attempt", span).set(
                 "attempt", task.attempts
             )
-            # Endpoint handshakes (control channel setup on both sides).
-            startup = src.startup_latency_s + dst.startup_latency_s
-            if startup > 0:
-                yield self.env.timeout(self._jitter(startup))
+            try:
+                # Endpoint handshakes (control channel setup on both sides).
+                startup = src.startup_latency_s + dst.startup_latency_s
+                if startup > 0:
+                    yield self.env.timeout(self._jitter(startup))
 
-            fault = self.fault_plan.draw(rng)
-            nbytes = source_file.size_bytes
-            efficiency = min(
-                src.effective_efficiency(nbytes), dst.effective_efficiency(nbytes)
-            )
-            # Per-task throughput jitter (disk contention, TCP luck).
-            jitter = lognormal_from_median(
-                self.rngs.stream("transfer.throughput"), 1.0, self.throughput_sigma
-            )
-            efficiency = float(min(1.0, max(1e-6, efficiency * jitter)))
+                fault = self.fault_plan.draw(rng)
+                nbytes = source_file.size_bytes
+                efficiency = min(
+                    src.effective_efficiency(nbytes), dst.effective_efficiency(nbytes)
+                )
+                # Per-task throughput jitter (disk contention, TCP luck).
+                jitter = lognormal_from_median(
+                    self.rngs.stream("transfer.throughput"), 1.0, self.throughput_sigma
+                )
+                efficiency = float(min(1.0, max(1e-6, efficiency * jitter)))
 
-            if fault == "transient":
-                # Channel drops partway: burn a random fraction of the
-                # transfer time, then retry.
-                frac = float(rng.uniform(0.05, 0.9))
-                partial = self.fabric.transfer(
-                    src.host, dst.host, source_file.size_bytes * frac, efficiency
-                )
-                yield partial
-                task.faults.append(f"transient fault on attempt {task.attempts}")
-                attempt_span.set("outcome", "transient").finish()
-            else:
-                done = self.fabric.transfer(
-                    src.host, dst.host, source_file.size_bytes, efficiency
-                )
-                yield done
-                # Checksum verification at the destination.
-                if self.checksum_bytes_per_s > 0 and source_file.size_bytes > 0:
-                    cksum_span = self.tracer.start("transfer.checksum", attempt_span)
-                    yield self.env.timeout(
-                        source_file.size_bytes / self.checksum_bytes_per_s
+                if fault == "transient":
+                    # Channel drops partway: burn a random fraction of the
+                    # transfer time, then retry.
+                    frac = float(rng.uniform(0.05, 0.9))
+                    partial = self.fabric.transfer(
+                        src.host, dst.host, source_file.size_bytes * frac, efficiency
                     )
-                    cksum_span.finish()
-                if fault == "corrupt":
-                    task.faults.append(
-                        f"checksum mismatch on attempt {task.attempts}"
-                    )
-                    attempt_span.set("outcome", "corrupt").finish()
+                    yield partial
+                    task.faults.append(f"transient fault on attempt {task.attempts}")
+                    attempt_span.set("outcome", "transient")
                 else:
-                    dst.vfs.copy_in(source_file, task.dest_path, now=self.env.now)
-                    task.status = TaskStatus.SUCCEEDED
-                    task.completed_at = self.env.now
-                    attempt_span.set("outcome", "succeeded").finish()
-                    span.set("status", "SUCCEEDED").set(
-                        "attempts", task.attempts
-                    ).finish()
-                    self._m_succeeded.inc()
-                    self._m_bytes.inc(float(source_file.size_bytes))
-                    self._m_duration.observe(task.duration)
-                    self._task_events[task.task_id].succeed(task)
-                    return
+                    done = self.fabric.transfer(
+                        src.host, dst.host, source_file.size_bytes, efficiency
+                    )
+                    yield done
+                    # Checksum verification at the destination.
+                    if self.checksum_bytes_per_s > 0 and source_file.size_bytes > 0:
+                        cksum_span = self.tracer.start(
+                            "transfer.checksum", attempt_span
+                        )
+                        try:
+                            yield self.env.timeout(
+                                source_file.size_bytes / self.checksum_bytes_per_s
+                            )
+                        finally:
+                            cksum_span.finish()
+                    if fault == "corrupt":
+                        task.faults.append(
+                            f"checksum mismatch on attempt {task.attempts}"
+                        )
+                        attempt_span.set("outcome", "corrupt")
+                    else:
+                        dst.vfs.copy_in(source_file, task.dest_path, now=self.env.now)
+                        task.status = TaskStatus.SUCCEEDED
+                        task.completed_at = self.env.now
+                        attempt_span.set("outcome", "succeeded")
+                        span.set("status", "SUCCEEDED").set(
+                            "attempts", task.attempts
+                        ).finish()
+                        self._m_succeeded.inc()
+                        self._m_bytes.inc(float(source_file.size_bytes))
+                        self._m_duration.observe(task.duration)
+                        self._task_events[task.task_id].succeed(task)
+                        return
+            finally:
+                attempt_span.finish()
 
             self._m_retries.inc()
             if task.attempts >= self.fault_plan.max_attempts:

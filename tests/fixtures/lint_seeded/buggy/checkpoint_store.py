@@ -1,0 +1,14 @@
+"""Reconstruction of the pre-fix ``CheckpointStore._flush``: the temp
+file is created, written and atomically swapped in — but any exception
+between ``mkstemp`` and ``os.replace`` leaves the orphan behind (R503)."""
+
+import json
+import os
+import tempfile
+
+
+def flush_state(state, final_path):
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(final_path))
+    os.write(fd, json.dumps(state).encode("utf-8"))
+    os.close(fd)
+    os.replace(tmp, final_path)

@@ -1,0 +1,11 @@
+"""Reconstruction of the PR-3 fabric bug: a per-flow completion timer
+raced against the transfer event and never cancelled, so every early
+finish left a stale event in the kernel heap (R501)."""
+
+
+def drive_stream(env, fabric, stream, deadline_s):
+    timer = env.timeout(deadline_s)
+    finished = yield env.any_of([stream.done, timer])
+    if stream.done in finished:
+        return "ok"
+    return "deadline"

@@ -1,0 +1,12 @@
+"""Reconstruction of the PR-4 scheduler bug: the pool slot is claimed,
+then the process sleeps through queue and boot delays holding it — a
+kernel throw (chaos interrupt, campaign teardown) at either timeout
+leaks the claim and every later requester deadlocks (R504)."""
+
+
+def provision(env, pool, make_node, queue_s, boot_s):
+    req = pool.request()
+    yield req
+    yield env.timeout(queue_s)
+    yield env.timeout(boot_s)
+    return make_node(request=req)

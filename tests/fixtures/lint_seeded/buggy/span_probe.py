@@ -1,0 +1,11 @@
+"""Reconstruction of the open-span class audited in PR 4: the probe
+span is finished on the success path only, so any exception in the
+transfer leaves it open forever and skews duration aggregates (R502)."""
+
+
+def probe_transfer(env, tracer, fabric, nbytes):
+    span = tracer.start("probe.transfer")
+    stream = yield fabric.transfer("probe", "hub", nbytes)
+    span.set("stream_id", stream.stream_id)
+    span.finish()
+    return stream

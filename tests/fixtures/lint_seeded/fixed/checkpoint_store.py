@@ -1,0 +1,17 @@
+"""The committed ``CheckpointStore._flush`` shape: unlink the orphan on
+any failure before re-raising."""
+
+import json
+import os
+import tempfile
+
+
+def flush_state(state, final_path):
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(final_path))
+    try:
+        os.write(fd, json.dumps(state).encode("utf-8"))
+        os.close(fd)
+        os.replace(tmp, final_path)
+    except OSError:
+        os.unlink(tmp)
+        raise

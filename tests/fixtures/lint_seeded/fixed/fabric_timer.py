@@ -1,0 +1,10 @@
+"""The PR-3 fix: cancel the losing timer after the race."""
+
+
+def drive_stream(env, fabric, stream, deadline_s):
+    timer = env.timeout(deadline_s)
+    finished = yield env.any_of([stream.done, timer])
+    env.cancel(timer)
+    if stream.done in finished:
+        return "ok"
+    return "deadline"

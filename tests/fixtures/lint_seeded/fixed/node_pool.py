@@ -1,0 +1,15 @@
+"""The PR-4 scheduler fix: a kernel throw mid-provision releases the
+claim before propagating; a completed provision transfers ownership to
+the node."""
+
+
+def provision(env, pool, make_node, queue_s, boot_s):
+    req = pool.request()
+    try:
+        yield req
+        yield env.timeout(queue_s)
+        yield env.timeout(boot_s)
+    except BaseException:
+        req.release()
+        raise
+    return make_node(request=req)

@@ -1,0 +1,13 @@
+"""The PR-4 fix: the span closes on every path out, success included
+(``finish()`` keeps the first end time, so the normal path needs no
+separate call)."""
+
+
+def probe_transfer(env, tracer, fabric, nbytes):
+    span = tracer.start("probe.transfer")
+    try:
+        stream = yield fabric.transfer("probe", "hub", nbytes)
+        span.set("stream_id", stream.stream_id)
+        return stream
+    finally:
+        span.finish()

@@ -1,0 +1,237 @@
+"""CFG construction: edge sets asserted against hand-checked fixtures.
+
+Labels are deterministic — ``L{line}`` per statement, ``H{line}`` per
+except handler, ``F{line}`` per finally body, ``W{line}`` per with
+cleanup — so whole edge sets can be compared exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+def test_straight_line_edges():
+    cfg = cfg_of(
+        """\
+        def f():
+            a()
+            b()
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", "L2", "next"),
+        ("L2", "raise", "exc"),
+        ("L2", "L3", "next"),
+        ("L3", "raise", "exc"),
+        ("L3", "exit", "next"),
+    }
+
+
+def test_try_except_else_finally_edges():
+    cfg = cfg_of(
+        """\
+        def f():
+            try:
+                a()
+            except ValueError:
+                b()
+            else:
+                c()
+            finally:
+                d()
+            e()
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", "L3", "next"),
+        # body: exception to the handler, success to else
+        ("L3", "H4", "exc"),
+        ("L3", "L7", "next"),
+        # else body: exceptions route through finally, success too
+        ("L7", "F2", "exc"),
+        ("L7", "F2", "next"),
+        # handler body
+        ("H4", "L5", "next"),
+        ("L5", "F2", "exc"),
+        ("L5", "F2", "next"),
+        # ValueError is not a catch-all: the no-match case propagates
+        ("H4", "F2", "exc"),
+        # finally body runs, then either re-raises or continues
+        ("F2", "L9", "next"),
+        ("L9", "raise", "exc"),
+        ("L9", "L10", "next"),
+        ("L10", "raise", "exc"),
+        ("L10", "exit", "next"),
+    }
+
+
+def test_nested_with_cleanup_edges():
+    cfg = cfg_of(
+        """\
+        def f():
+            with a() as x:
+                with b() as y:
+                    c()
+            d()
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", "L2", "next"),
+        ("L2", "raise", "exc"),
+        ("L2", "L3", "next"),
+        # inner header/body exceptions pass the enclosing cleanups
+        ("L3", "W2", "exc"),
+        ("L3", "L4", "next"),
+        ("L4", "W3", "exc"),
+        ("L4", "W3", "next"),
+        # inner __exit__ re-raises through the outer __exit__
+        ("W3", "W2", "exc"),
+        ("W3", "W2", "next"),
+        ("W2", "raise", "exc"),
+        ("W2", "L5", "next"),
+        ("L5", "raise", "exc"),
+        ("L5", "exit", "next"),
+    }
+
+
+def test_while_else_and_break_edges():
+    cfg = cfg_of(
+        """\
+        def f(p, r):
+            while p:
+                q()
+                if r:
+                    break
+            else:
+                s()
+            t()
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", "L2", "next"),
+        ("L2", "L3", "next"),
+        ("L3", "raise", "exc"),
+        ("L3", "L4", "next"),
+        ("L4", "L5", "next"),
+        # falling through the if goes back to the loop head
+        ("L4", "L2", "back"),
+        # the else clause runs only when the condition goes false
+        ("L2", "L7", "next"),
+        ("L7", "raise", "exc"),
+        # break skips the else; both meet at the statement after
+        ("L5", "L8", "next"),
+        ("L7", "L8", "next"),
+        ("L8", "raise", "exc"),
+        ("L8", "exit", "next"),
+    }
+
+
+def test_return_in_finally_swallows_the_exception():
+    cfg = cfg_of(
+        """\
+        def f():
+            try:
+                a()
+            finally:
+                return 1
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", "L3", "next"),
+        ("L3", "F2", "exc"),
+        ("L3", "F2", "next"),
+        ("F2", "L5", "next"),
+        ("L5", "exit", "next"),
+    }
+    # no surviving edge into the raise exit anywhere
+    assert not cfg.raise_exit.pred
+
+
+def test_return_routed_through_finally():
+    cfg = cfg_of(
+        """\
+        def f():
+            try:
+                return g()
+            finally:
+                h()
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", "L3", "next"),
+        ("L3", "F2", "exc"),
+        ("L3", "F2", "next"),
+        ("F2", "L5", "next"),
+        # the finally body both re-raises pending exceptions and
+        # completes the pending return
+        ("L5", "raise", "exc"),
+        ("L5", "exit", "next"),
+    }
+
+
+def test_generator_yield_points_are_marked():
+    cfg = cfg_of(
+        """\
+        def f(env):
+            a()
+            yield env.timeout(1)
+            b()
+        """
+    )
+    assert [b.label for b in cfg.yield_blocks] == ["L3"]
+    # the kernel can throw into a suspended process: the yield block
+    # must carry an exception edge
+    yb = cfg.yield_blocks[0]
+    assert ("raise" in {dst.label for dst, kind in yb.succ if kind == "exc"})
+
+
+def test_async_def_awaits_are_yield_points():
+    cfg = cfg_of(
+        """\
+        async def f(x):
+            await x
+            return 1
+        """
+    )
+    assert [b.label for b in cfg.yield_blocks] == ["L2"]
+
+
+def test_nested_defs_are_opaque():
+    cfg = cfg_of(
+        """\
+        def f():
+            def g():
+                yield 1
+            return g
+        """
+    )
+    # the nested generator's yield is not a suspension point of f
+    assert cfg.yield_blocks == []
+
+
+def test_block_of_maps_statements_to_blocks():
+    src = textwrap.dedent(
+        """\
+        def f():
+            a()
+            b()
+        """
+    )
+    tree = ast.parse(src)
+    func = tree.body[0]
+    cfg = build_cfg(func)
+    assert cfg.block_of(func.body[0]).label == "L2"
+    assert cfg.block_of(func.body[1]).label == "L3"

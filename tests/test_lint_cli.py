@@ -109,3 +109,160 @@ def test_repro_main_lint_defaults_to_package_and_is_clean(capsys):
     # The shipped tree is the acceptance criterion: zero errors.
     assert repro_main(["lint", "--fail-on", "error"]) == 0
     capsys.readouterr()
+
+
+# -- incremental cache --------------------------------------------------------
+
+
+def test_cache_warm_run_reports_full_hit_rate(dirty_tree, tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    args = [
+        str(dirty_tree), "--cache", str(cache),
+        "--format", "json", "--statistics",
+    ]
+    assert lint_main(args) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["statistics"]["cache_hit_rate"] == 0.0
+    assert cache.exists()
+    assert lint_main(args) == 1
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["statistics"]["cache_hit_rate"] == 1.0
+    assert warm["statistics"]["files_cached"] == warm["statistics"]["files_total"]
+    # cached findings are byte-identical to analyzed ones
+    assert warm["findings"] == cold["findings"]
+
+
+def test_cache_invalidated_only_for_the_changed_file(dirty_tree, tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    args = [
+        str(dirty_tree), "--cache", str(cache),
+        "--format", "json", "--statistics",
+    ]
+    lint_main(args)
+    capsys.readouterr()
+    (dirty_tree / "clean.py").write_text("def f(env):\n    return env.now + 1\n")
+    lint_main(args)
+    stats = json.loads(capsys.readouterr().out)["statistics"]
+    assert stats["files_analyzed"] == 1
+    assert stats["files_cached"] == stats["files_total"] - 1
+
+
+def test_no_cache_flag_disables_caching(dirty_tree, tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    lint_main([str(dirty_tree), "--cache", str(cache), "--no-cache"])
+    assert not cache.exists()
+    capsys.readouterr()
+
+
+def test_json_without_statistics_stays_a_plain_list(dirty_tree, capsys):
+    # the machine interface: no envelope unless --statistics asks for it
+    assert lint_main([str(dirty_tree), "--no-cache", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list)
+
+
+def test_statistics_text_block(dirty_tree, tmp_path, capsys):
+    code = lint_main(
+        [str(dirty_tree), "--cache", str(tmp_path / "c.json"), "--statistics"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "-- statistics --" in out
+    assert "files analyzed" in out
+    assert "cache hit rate" in out
+    assert "wall time" in out
+    assert "D101: 1" in out
+
+
+# -- baseline ratchet ---------------------------------------------------------
+
+
+def test_baseline_ratchet_suppresses_recorded_debt(dirty_tree, tmp_path, capsys):
+    base = tmp_path / "base.json"
+    code = lint_main(
+        [str(dirty_tree), "--no-cache", "--write-baseline", "--baseline", str(base)]
+    )
+    assert code == 0
+    assert "wrote baseline" in capsys.readouterr().out
+    # the recorded debt no longer fails the run...
+    assert lint_main([str(dirty_tree), "--no-cache", "--baseline", str(base)]) == 0
+    capsys.readouterr()
+    # ...but new findings still do
+    (dirty_tree / "new.py").write_text("import random\nrandom.random()\n")
+    assert lint_main([str(dirty_tree), "--no-cache", "--baseline", str(base)]) == 1
+    out = capsys.readouterr().out
+    assert "D103" in out and "D101" not in out
+
+
+def test_baseline_suppression_count_in_statistics(dirty_tree, tmp_path, capsys):
+    base = tmp_path / "base.json"
+    lint_main(
+        [str(dirty_tree), "--no-cache", "--write-baseline", "--baseline", str(base)]
+    )
+    capsys.readouterr()
+    lint_main(
+        [
+            str(dirty_tree), "--no-cache", "--baseline", str(base),
+            "--format", "json", "--statistics",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["statistics"]["suppressed_by_baseline"] == 1
+
+
+def test_missing_baseline_is_a_usage_error(dirty_tree, capsys):
+    code = lint_main(
+        [str(dirty_tree), "--no-cache", "--baseline", "/does/not/exist.json"]
+    )
+    assert code == 2
+    assert "no such baseline" in capsys.readouterr().out
+
+
+# -- git changed-only mode ----------------------------------------------------
+
+
+def test_changed_only_lints_only_modified_files(tmp_path, monkeypatch, capsys):
+    import subprocess
+
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    (repo / "stale.py").write_text("import time\nt = time.time()\n")
+    (repo / "fresh.py").write_text("x = 1\n")
+    git = ["git", "-c", "user.email=t@t.invalid", "-c", "user.name=t"]
+    subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
+    subprocess.run(["git", "add", "."], cwd=repo, check=True)
+    subprocess.run(git + ["commit", "-qm", "seed"], cwd=repo, check=True)
+    (repo / "fresh.py").write_text("import random\nrandom.random()\n")
+    monkeypatch.chdir(repo)
+    assert lint_main([".", "--no-cache", "--changed-only"]) == 1
+    out = capsys.readouterr().out
+    # the committed-and-unchanged D101 in stale.py is out of scope
+    assert "fresh.py" in out and "stale.py" not in out
+
+
+def test_changed_only_includes_untracked_files(tmp_path, monkeypatch, capsys):
+    import subprocess
+
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    (repo / "seed.py").write_text("x = 1\n")
+    git = ["git", "-c", "user.email=t@t.invalid", "-c", "user.name=t"]
+    subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
+    subprocess.run(["git", "add", "."], cwd=repo, check=True)
+    subprocess.run(git + ["commit", "-qm", "seed"], cwd=repo, check=True)
+    (repo / "new.py").write_text("import time\ntime.time()\n")
+    monkeypatch.chdir(repo)
+    assert lint_main([".", "--no-cache", "--changed-only"]) == 1
+    assert "new.py" in capsys.readouterr().out
+
+
+def test_changed_only_outside_a_work_tree_is_a_usage_error(
+    tmp_path, monkeypatch, capsys
+):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+    code = lint_main([".", "--no-cache", "--changed-only"])
+    assert code == 2
+    assert "requires a git work tree" in capsys.readouterr().out

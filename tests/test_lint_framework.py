@@ -241,3 +241,42 @@ def test_custom_rule_via_public_base_class():
     a = Analyzer(config=LintConfig(allow={}), rules=[NoPrint()])
     ds = a.lint_source("print('hi')\n")
     assert [(d.rule_id, d.severity) for d in ds] == [("D999", Severity.WARNING)]
+
+
+def test_resolver_resolves_relative_imports_with_module_context():
+    # the regression behind the call-graph gaps: `from .gate import
+    # ServiceGate` used to stay unresolved, dropping intra-package edges
+    tree = ast.parse(
+        "from .gate import ServiceGate\n"
+        "from ..sim import core\n"
+        "from . import metrics as m\n"
+    )
+    r = ImportResolver(tree, module="repro.chaos.controller")
+    assert (
+        r.resolve(ast.parse("ServiceGate", mode="eval").body)
+        == "repro.chaos.gate.ServiceGate"
+    )
+    assert r.resolve(ast.parse("core.run", mode="eval").body) == "repro.sim.core.run"
+    assert r.resolve(ast.parse("m", mode="eval").body) == "repro.chaos.metrics"
+
+
+def test_resolver_relative_imports_in_a_package_init():
+    # a package __init__ already *is* its package: one fewer level
+    tree = ast.parse("from .gate import ServiceGate\n")
+    r = ImportResolver(tree, module="repro.chaos", is_package=True)
+    assert (
+        r.resolve(ast.parse("ServiceGate", mode="eval").body)
+        == "repro.chaos.gate.ServiceGate"
+    )
+
+
+def test_resolver_relative_imports_without_context_stay_unresolved():
+    tree = ast.parse("from .gate import ServiceGate\n")
+    r = ImportResolver(tree)
+    assert r.resolve(ast.parse("ServiceGate", mode="eval").body) is None
+
+
+def test_resolver_relative_import_climbing_past_the_root_is_dropped():
+    tree = ast.parse("from ...nowhere import thing\n")
+    r = ImportResolver(tree, module="repro.chaos")
+    assert r.resolve(ast.parse("thing", mode="eval").body) is None

@@ -1,0 +1,184 @@
+"""P6xx hot-path performance rules: each fires only in its scope
+(``# repro: hotpath`` functions for P601/P603, the instrument/analysis
+data plane for P602) and stays quiet everywhere else."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import Analyzer, LintConfig
+
+
+def lint_at(source: str, path: str = "snippet.py"):
+    analyzer = Analyzer(config=LintConfig(allow={}))
+    return analyzer.lint_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(source: str, path: str = "snippet.py"):
+    return [d.rule_id for d in lint_at(source, path)]
+
+
+# -- P601: allocation in hotpath functions ------------------------------------
+
+
+def test_p601_fires_on_per_iteration_list_literal():
+    src = """
+    # repro: hotpath
+    def step(items):
+        out = []
+        for i in items:
+            out.append([i, i])
+        return out
+    """
+    assert "P601" in rule_ids(src)
+
+
+def test_p601_fires_on_lambda_in_hotpath():
+    src = """
+    def step(items):
+        # repro: hotpath
+        return sorted(items, key=lambda x: x[1])
+    """
+    assert "P601" in rule_ids(src)
+
+
+def test_p601_fires_on_nested_def():
+    src = """
+    # repro: hotpath
+    def dispatch(events):
+        def handler(e):
+            return e.eid
+        return [handler(e) for e in events]
+    """
+    assert "P601" in rule_ids(src)
+
+
+def test_p601_quiet_without_the_marker():
+    src = """
+    def step(items):
+        out = []
+        for i in items:
+            out.append([i, i])
+        return sorted(items, key=lambda x: x[1])
+    """
+    assert "P601" not in rule_ids(src)
+
+
+def test_p601_quiet_when_allocation_is_hoisted():
+    src = """
+    # repro: hotpath
+    def step(items, scratch):
+        total = 0
+        for i in items:
+            total += i
+        return total
+    """
+    assert "P601" not in rule_ids(src)
+
+
+# -- P602: per-element array loops in the data plane --------------------------
+
+
+def test_p602_fires_on_tuple_indexing_in_analysis():
+    src = """
+    def score(m, n):
+        total = 0.0
+        for i in range(n):
+            total += m[i, 0]
+        return total
+    """
+    assert "P602" in rule_ids(src, path="src/repro/analysis/metrics.py")
+
+
+def test_p602_fires_on_chained_indexing_in_instrument():
+    src = """
+    def collapse(frames, n):
+        out = 0.0
+        for i in range(n):
+            out += frames[0][i]
+        return out
+    """
+    assert "P602" in rule_ids(src, path="src/repro/instrument/detector.py")
+
+
+def test_p602_quiet_outside_the_data_plane():
+    src = """
+    def score(m, n):
+        total = 0.0
+        for i in range(n):
+            total += m[i, 0]
+        return total
+    """
+    assert "P602" not in rule_ids(src, path="src/repro/sim/core.py")
+
+
+def test_p602_quiet_on_whole_frame_iteration():
+    # data[t] pulls one whole frame per step — that is the intended
+    # granularity, not a vectorization candidate
+    src = """
+    def frames(data, n):
+        for t in range(n):
+            emit(data[t])
+    """
+    assert "P602" not in rule_ids(src, path="src/repro/analysis/metrics.py")
+
+
+# -- P603: invariant lookups in hot loops -------------------------------------
+
+
+def test_p603_fires_on_repeated_invariant_chain():
+    src = """
+    # repro: hotpath
+    def run(self, n):
+        total = 0.0
+        for i in range(n):
+            a = self.cfg.scale * i
+            total += self.cfg.scale + a
+        return total
+    """
+    assert "P603" in rule_ids(src)
+
+
+def test_p603_quiet_when_hoisted():
+    src = """
+    # repro: hotpath
+    def run(self, n):
+        scale = self.cfg.scale
+        total = 0.0
+        for i in range(n):
+            a = scale * i
+            total += scale + a
+        return total
+    """
+    assert "P603" not in rule_ids(src)
+
+
+def test_p603_quiet_when_loop_contains_a_yield():
+    # a suspension point can invalidate any cached attribute
+    src = """
+    # repro: hotpath
+    def run(self, n):
+        for i in range(n):
+            yield self.env.timeout(self.cfg.scale * self.cfg.scale)
+    """
+    assert "P603" not in rule_ids(src)
+
+
+def test_p603_quiet_without_the_marker():
+    src = """
+    def run(self, n):
+        total = 0.0
+        for i in range(n):
+            total += self.cfg.scale + self.cfg.scale
+        return total
+    """
+    assert "P603" not in rule_ids(src)
+
+
+def test_p6xx_noqa_suppresses():
+    src = """
+    # repro: hotpath
+    def step(items):
+        return sorted(items, key=lambda x: x[1])  # repro: noqa[P601]
+    """
+    assert "P601" not in rule_ids(src)

@@ -1,0 +1,366 @@
+"""R5xx resource-lifecycle rules: positive and negative fixtures per
+rule, including the interprocedural refinements (keyword handoffs,
+known non-cleaner callees, the all_of/any_of distinction, and the
+acquisition-wait exemption)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import Analyzer, LintConfig
+
+
+def lint(source: str, **config_kwargs):
+    config_kwargs.setdefault("allow", {})
+    analyzer = Analyzer(config=LintConfig(**config_kwargs))
+    return analyzer.lint_source(textwrap.dedent(source), path="snippet.py")
+
+
+def rule_ids(source: str, **config_kwargs):
+    return [d.rule_id for d in lint(source, **config_kwargs)]
+
+
+# -- R501: leaked scheduled events --------------------------------------------
+
+
+def test_r501_fires_on_any_of_race_without_cancel():
+    src = """
+    def proc(env, gate):
+        timer = env.timeout(30)
+        result = yield env.any_of([timer, gate])
+        return result
+    """
+    assert "R501" in rule_ids(src)
+
+
+def test_r501_fires_on_discarded_timeout():
+    src = """
+    def proc(env):
+        env.timeout(5)
+        yield env.timeout(1)
+    """
+    assert "R501" in rule_ids(src)
+
+
+def test_r501_fires_on_never_awaited_handle():
+    src = """
+    def proc(env):
+        t = env.timeout(5)
+        yield env.timeout(1)
+    """
+    assert "R501" in rule_ids(src)
+
+
+def test_r501_clean_when_loser_is_cancelled():
+    src = """
+    def proc(env, gate):
+        timer = env.timeout(30)
+        result = yield env.any_of([timer, gate])
+        env.cancel(timer)
+        return result
+    """
+    assert "R501" not in rule_ids(src)
+
+
+def test_r501_clean_on_processed_check():
+    src = """
+    def proc(env, gate):
+        timer = env.timeout(30)
+        yield env.any_of([timer, gate])
+        if not timer.processed:
+            log_stale(timer.eid)
+    """
+    assert "R501" not in rule_ids(src)
+
+
+def test_r501_clean_on_all_of_members():
+    # every member of an all_of is awaited to completion: there is no
+    # losing timer to cancel
+    src = """
+    def proc(env, gate):
+        period = env.timeout(30)
+        yield env.all_of([period, gate])
+    """
+    assert "R501" not in rule_ids(src)
+
+
+def test_r501_clean_on_direct_yield():
+    src = """
+    def proc(env):
+        t = env.timeout(5)
+        yield t
+    """
+    assert "R501" not in rule_ids(src)
+
+
+def test_r501_fires_on_self_attr_timer_never_cancelled():
+    src = """
+    class Monitor:
+        def arm(self):
+            self._timer = self.env.timeout(60)
+
+        def poll(self):
+            return self.env.now
+    """
+    assert "R501" in rule_ids(src)
+
+
+def test_r501_clean_when_another_method_cancels_the_attr():
+    src = """
+    class Monitor:
+        def arm(self):
+            self._timer = self.env.timeout(60)
+
+        def stop(self):
+            self.env.cancel(self._timer)
+    """
+    assert "R501" not in rule_ids(src)
+
+
+# -- R502: span leaks ---------------------------------------------------------
+
+
+def test_r502_fires_on_exception_path_past_finish():
+    src = """
+    def handle(tracer):
+        span = tracer.start("work")
+        do_work()
+        span.finish()
+    """
+    assert "R502" in rule_ids(src)
+
+
+def test_r502_fires_on_discarded_span_handle():
+    src = """
+    def handle(tracer):
+        tracer.start("work")
+        do_work()
+    """
+    assert "R502" in rule_ids(src)
+
+
+def test_r502_clean_with_try_finally():
+    src = """
+    def handle(tracer):
+        span = tracer.start("work")
+        try:
+            do_work()
+            span.set("ok", True)
+        finally:
+            span.finish()
+    """
+    assert "R502" not in rule_ids(src)
+
+
+def test_r502_clean_on_handoff_to_unknown_callee():
+    # an unresolvable callee is assumed to take ownership
+    src = """
+    def handle(tracer):
+        span = tracer.start("work")
+        dispatch(span)
+    """
+    assert "R502" not in rule_ids(src)
+
+
+def test_r502_fires_through_known_non_cleaner_callee():
+    # interprocedural precision: the helper is resolvable and visibly
+    # does NOT finish the span, so handing it over is not cleanup
+    src = """
+    def annotate(span):
+        span.set("k", 1)
+
+    def handle(tracer):
+        span = tracer.start("work")
+        annotate(span)
+        do_work()
+        span.finish()
+    """
+    assert "R502" in rule_ids(src)
+
+
+def test_r502_clean_on_known_cleaner_callee():
+    src = """
+    def close_out(span):
+        span.set("done", True)
+        span.finish()
+
+    def handle(tracer):
+        span = tracer.start("work")
+        close_out(span)
+    """
+    assert "R502" not in rule_ids(src)
+
+
+def test_r502_clean_on_keyword_handoff_to_cleaner():
+    # the keyword-argument form of the same handoff must also count
+    src = """
+    def close_out(extra=0, span=None):
+        span.finish()
+
+    def handle(tracer):
+        span = tracer.start("work")
+        close_out(span=span)
+    """
+    assert "R502" not in rule_ids(src)
+
+
+def test_r502_clean_when_stored_on_self():
+    src = """
+    class Worker:
+        def begin(self, tracer):
+            span = tracer.start("work")
+            self._span = span
+    """
+    assert "R502" not in rule_ids(src)
+
+
+# -- R503: temp-file leaks ----------------------------------------------------
+
+
+def test_r503_fires_on_cleanup_free_exception_path():
+    src = """
+    import os
+    import tempfile
+
+    def flush(data, final):
+        fd, tmp = tempfile.mkstemp(dir=".")
+        os.write(fd, data)
+        os.close(fd)
+        os.replace(tmp, final)
+    """
+    assert "R503" in rule_ids(src)
+
+
+def test_r503_clean_with_unlink_in_handler():
+    src = """
+    import os
+    import tempfile
+
+    def flush(data, final):
+        fd, tmp = tempfile.mkstemp(dir=".")
+        try:
+            os.write(fd, data)
+            os.close(fd)
+            os.replace(tmp, final)
+        except OSError:
+            os.unlink(tmp)
+            raise
+    """
+    assert "R503" not in rule_ids(src)
+
+
+def test_r503_clean_with_unlink_in_finally():
+    src = """
+    import os
+    import tempfile
+
+    def probe(final):
+        fd, tmp = tempfile.mkstemp(dir=".")
+        try:
+            os.write(fd, b"x")
+        finally:
+            os.close(fd)
+            os.unlink(tmp)
+    """
+    assert "R503" not in rule_ids(src)
+
+
+# -- R504: requests held across sim-yields ------------------------------------
+
+
+def test_r504_fires_on_hold_across_timeout_yield():
+    src = """
+    def proc(env, pool):
+        req = pool.request()
+        yield req
+        yield env.timeout(5)
+        req.release()
+    """
+    assert "R504" in rule_ids(src)
+
+
+def test_r504_clean_when_only_yield_is_the_acquisition_wait():
+    # `yield req` is the acquisition wait, not holding across a foreign
+    # suspension point
+    src = """
+    def proc(env, pool):
+        req = pool.request()
+        yield req
+        req.release()
+    """
+    assert "R504" not in rule_ids(src)
+
+
+def test_r504_clean_with_try_finally_release():
+    src = """
+    def proc(env, pool):
+        req = pool.request()
+        try:
+            yield req
+            yield env.timeout(5)
+        finally:
+            req.release()
+    """
+    assert "R504" not in rule_ids(src)
+
+
+def test_r504_clean_with_context_manager():
+    src = """
+    def proc(env, pool):
+        with pool.request() as req:
+            yield req
+            yield env.timeout(5)
+    """
+    assert "R504" not in rule_ids(src)
+
+
+def test_r504_clean_on_keyword_ownership_transfer():
+    # handing the request to an unknown constructor (Node(request=req))
+    # right after the acquisition wait transfers ownership — the
+    # scheduler's fixed form
+    src = """
+    def provision(env, pool):
+        req = pool.request()
+        yield req
+        return Node(request=req)
+    """
+    assert "R504" not in rule_ids(src)
+
+
+def test_r504_fires_when_a_foreign_yield_precedes_the_transfer():
+    # the PR-4 scheduler bug: boot delays between acquisition and the
+    # ownership transfer — a kernel throw at the timeout leaks the slot
+    src = """
+    def provision(env, pool):
+        req = pool.request()
+        yield req
+        yield env.timeout(1)
+        return Node(request=req)
+    """
+    assert "R504" in rule_ids(src)
+
+
+def test_r504_clean_when_guarded_by_except_baseexception():
+    src = """
+    def provision(env, pool):
+        req = pool.request()
+        try:
+            yield req
+            yield env.timeout(1)
+        except BaseException:
+            req.release()
+            raise
+        return Node(request=req)
+    """
+    assert "R504" not in rule_ids(src)
+
+
+# -- noqa interplay -----------------------------------------------------------
+
+
+def test_r5xx_noqa_suppresses_on_the_flagged_line():
+    src = """
+    def proc(env):
+        env.schedule(event, priority=0)  # repro: noqa[R501]
+    """
+    assert "R501" not in rule_ids(src)

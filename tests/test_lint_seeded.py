@@ -1,0 +1,45 @@
+"""The seeded fixture repo: one module per R5xx rule reconstructing a
+bug actually fixed in PRs 3–4, plus its fixed twin.  Each rule must
+catch its reconstruction and accept the fix — the end-to-end proof the
+pack would have caught the original regressions."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint import Analyzer, LintConfig
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint_seeded")
+
+
+def lint_dir(which: str):
+    analyzer = Analyzer(config=LintConfig(allow={}))
+    return analyzer.lint_paths([os.path.join(FIXTURES, which)])
+
+
+EXPECTED = {
+    "R501": "fabric_timer.py",
+    "R502": "span_probe.py",
+    "R503": "checkpoint_store.py",
+    "R504": "node_pool.py",
+}
+
+
+@pytest.mark.parametrize("rid,filename", sorted(EXPECTED.items()))
+def test_each_rule_catches_its_bug_reconstruction(rid, filename):
+    findings = lint_dir("buggy")
+    hits = [d for d in findings if d.rule_id == rid]
+    assert hits, f"{rid} missed its seeded reconstruction"
+    assert all(os.path.basename(d.path) == filename for d in hits)
+
+
+def test_buggy_tree_has_exactly_the_seeded_lifecycle_findings():
+    findings = [d for d in lint_dir("buggy") if d.rule_id.startswith("R5")]
+    assert sorted({d.rule_id for d in findings}) == sorted(EXPECTED)
+
+
+def test_fixed_twins_are_clean():
+    findings = lint_dir("fixed")
+    assert [d for d in findings if d.rule_id.startswith("R5")] == []

@@ -1,9 +1,10 @@
 """Tier-1 self-check: the analyzer over the entire ``repro`` package.
 
 This is the permanent correctness gate: any future PR that sneaks a
-wall-clock read, an unseeded RNG draw, a hash-ordered iteration, or a
-mis-wired flow definition into ``src/repro`` fails the ordinary pytest
-run — no separate CI step needed.
+wall-clock read, an unseeded RNG draw, a hash-ordered iteration, a
+mis-wired flow definition, or a leaked span/timer/temp-file into
+``src/repro`` fails the ordinary pytest run — no separate CI step
+needed.
 """
 
 from __future__ import annotations
@@ -24,6 +25,17 @@ def test_repro_package_is_lint_clean():
     )
 
 
+def test_repro_package_has_no_lifecycle_errors():
+    # The R5xx pack specifically: every span is finished, every timer
+    # cancelled or awaited, every temp file cleaned on failure paths.
+    analyzer = Analyzer()
+    diagnostics = analyzer.lint_paths([PACKAGE_ROOT])
+    lifecycle = [d for d in diagnostics if d.rule_id.startswith("R5")]
+    assert not lifecycle, "resource-lifecycle findings:\n" + "\n".join(
+        d.format() for d in lifecycle
+    )
+
+
 def test_selfcheck_covers_the_whole_package():
     # Guard against the self-check silently linting nothing: the package
     # has dozens of modules and the walk must reach the deep ones.
@@ -37,13 +49,25 @@ def test_selfcheck_covers_the_whole_package():
     assert any(p.endswith(os.path.join("sim", "core.py")) for p in py_files)
 
 
+def test_selfcheck_reports_statistics():
+    analyzer = Analyzer()
+    analyzer.lint_paths([PACKAGE_ROOT])
+    stats = analyzer.stats.as_dict()
+    assert stats["files_total"] > 60
+    assert stats["files_analyzed"] == stats["files_total"]
+    assert stats["cache_hit_rate"] == 0.0  # no cache passed
+
+
 def test_rule_catalog_is_complete():
-    # The catalog the self-check runs with: >= 10 rules across the three
+    # The catalog the self-check runs with: >= 10 rules across the five
     # packs, ids well-formed.
     from repro.lint import all_rules
 
     catalog = all_rules()
     assert len(catalog) >= 10
     packs = {rid[0] for rid in catalog}
-    assert packs == {"D", "S", "F"}
+    assert packs == {"D", "S", "F", "R", "P"}
     assert all(len(rid) == 4 for rid in catalog)
+    # the new packs each registered their full complement
+    assert {"R501", "R502", "R503", "R504"} <= set(catalog)
+    assert {"P601", "P602", "P603"} <= set(catalog)
