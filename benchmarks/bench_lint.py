@@ -45,6 +45,8 @@ def test_lint_warm_cache_full_tree(benchmark, tmp_path):
     stats = benchmark(run)
     assert stats.files_cached == stats.files_total
     assert stats.files_analyzed == 0
+    # unchanged bytes: every taint summary served from the cache
+    assert stats.taint_recomputed == 0
 
 
 def test_lint_warm_one_file_changed(benchmark, tmp_path):
@@ -74,3 +76,31 @@ def test_lint_warm_one_file_changed(benchmark, tmp_path):
     stats = benchmark(run)
     assert stats.files_analyzed == 1
     assert stats.files_cached == stats.files_total - 1
+    # taint re-analysis is limited to exactly the changed file
+    assert stats.taint_recomputed == 1
+
+
+def test_lint_taint_index_cold(benchmark):
+    """The taint phase alone: per-module local dataflow plus the global
+    RET/SINKPARAM fixpoints, no summary cache."""
+    import ast
+
+    from repro.lint.callgraph import module_name_for_path
+    from repro.lint.taint import build_taint_index
+
+    trees = {}
+    for dirpath, dirnames, filenames in os.walk(PACKAGE_DIR):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            p = os.path.join(dirpath, name)
+            with open(p, "r", encoding="utf-8") as fh:
+                trees[p] = (module_name_for_path(p), ast.parse(fh.read()))
+
+    def run():
+        return build_taint_index(trees)
+
+    index = benchmark(run)
+    assert index.recomputed == len(trees)
+    assert len(index.functions) > 200

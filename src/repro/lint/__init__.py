@@ -30,6 +30,12 @@ stdlib-``ast``-based analyzer with three rule packs,
 * **P6xx hot-path performance** — allocation/closure creation in
   ``# repro: hotpath`` functions, per-element array loops in the
   instrument/analysis data plane, invariant lookups in hot loops;
+* **N7xx ordering taint** — an interprocedural forward taint analysis
+  (:mod:`.taint`) tracking order-, host-, and identity-tainted values
+  through assignments, returns, call arguments, and comprehensions to
+  scheduling, tie-break, metrics, and accumulation sinks: the
+  flow-aware layer that catches an unsorted ``listdir`` laundered
+  through three helpers into ``env.schedule``;
 
 plus ``# repro: noqa[RULE-ID]`` line suppressions, whole-file
 ``# repro: noqa-file[RULE-ID]`` suppressions, path-scoped allowances
@@ -61,6 +67,7 @@ from .config import (
 )
 from .diagnostics import Diagnostic, Severity, sarif_report
 from .resolver import ImportResolver
+from .taint import TaintFinding, TaintIndex, analyze_module, build_taint_index
 
 __all__ = [
     "Analyzer",
@@ -85,4 +92,8 @@ __all__ = [
     "Severity",
     "sarif_report",
     "ImportResolver",
+    "TaintFinding",
+    "TaintIndex",
+    "analyze_module",
+    "build_taint_index",
 ]

@@ -47,7 +47,7 @@ _HOTPATH_RE = re.compile(r"#\s*repro:\s*hotpath\b", re.IGNORECASE)
 
 #: Bumped whenever rule logic changes in a way that invalidates cached
 #: findings; part of the incremental cache's environment fingerprint.
-RULES_VERSION = 3
+RULES_VERSION = 4
 
 #: rule_id -> rule class, in registration order (report order is by
 #: location anyway; the dict keeps lookup and ``--select`` validation O(1)).
@@ -57,9 +57,9 @@ _REGISTRY: dict[str, type["Rule"]] = {}
 def register(cls: type["Rule"]) -> type["Rule"]:
     """Class decorator adding a rule to the global registry."""
     rid = cls.rule_id
-    if not re.fullmatch(r"[DSFRP]\d{3}", rid):
+    if not re.fullmatch(r"[DSFRPN]\d{3}", rid):
         raise ValueError(
-            f"rule id must look like D101/S201/F301/R501/P601, got {rid!r}"
+            f"rule id must look like D101/S201/F301/R501/P601/N701, got {rid!r}"
         )
     if rid in _REGISTRY and _REGISTRY[rid] is not cls:
         raise ValueError(f"duplicate rule id {rid!r}")
@@ -144,6 +144,7 @@ class FileContext:
         tree: ast.Module,
         config: LintConfig,
         graph=None,
+        taint=None,
     ) -> None:
         from .callgraph import module_name_for_path
 
@@ -162,6 +163,8 @@ class FileContext:
         #: the project-wide call graph (interprocedural cleanup facts);
         #: built lazily from this file alone when no project scan ran.
         self._graph = graph
+        #: the project-wide order/host taint index (same lazy contract).
+        self._taint = taint
         self.diagnostics: list[Diagnostic] = []
         self._noqa, self._noqa_file = _collect_noqa(source)
         self._hotpath_lines = _collect_hotpath_lines(source)
@@ -222,6 +225,24 @@ class FileContext:
                 {self.path: (self.module_name, self.tree)}
             )
         return self._graph
+
+    @property
+    def taint(self):
+        """The :class:`~repro.lint.taint.TaintIndex`.  Project-wide when
+        the analyzer scanned a project; single-module for standalone
+        sources (intra-file flows still resolve)."""
+        if self._taint is None:
+            from .taint import build_taint_index
+
+            self._taint = build_taint_index(
+                {self.path: (self.module_name, self.tree)}
+            )
+        return self._taint
+
+    def taint_findings(self) -> list:
+        """Resolved :class:`~repro.lint.taint.TaintFinding`\\ s for this
+        file — the N7xx rules' query surface."""
+        return self.taint.findings_for(self.path)
 
     def is_hotpath(self, fn: ast.AST) -> bool:
         """Is ``fn`` marked ``# repro: hotpath``?  The marker counts on
@@ -319,12 +340,15 @@ def _collect_hotpath_lines(source: str) -> frozenset[int]:
 class LintStats:
     """Per-run accounting for ``--statistics`` and the bench suite."""
 
-    __slots__ = ("files_analyzed", "files_cached", "rule_counts")
+    __slots__ = ("files_analyzed", "files_cached", "rule_counts",
+                 "taint_recomputed")
 
     def __init__(self) -> None:
         self.files_analyzed = 0
         self.files_cached = 0
         self.rule_counts: dict[str, int] = {}
+        #: modules whose taint summary was recomputed (vs. cache-served)
+        self.taint_recomputed = 0
 
     @property
     def files_total(self) -> int:
@@ -345,6 +369,7 @@ class LintStats:
             "files_analyzed": self.files_analyzed,
             "files_cached": self.files_cached,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "taint_recomputed": self.taint_recomputed,
             "rule_counts": dict(sorted(self.rule_counts.items())),
         }
 
@@ -366,7 +391,7 @@ class Analyzer:
 
     # -- entry points ---------------------------------------------------
     def lint_source(
-        self, source: str, path: str = "<string>", graph=None
+        self, source: str, path: str = "<string>", graph=None, taint=None
     ) -> list[Diagnostic]:
         try:
             tree = ast.parse(source, filename=path)
@@ -381,7 +406,7 @@ class Analyzer:
                     message=f"syntax error: {exc.msg}",
                 )
             ]
-        ctx = FileContext(path, source, tree, self.config, graph=graph)
+        ctx = FileContext(path, source, tree, self.config, graph=graph, taint=taint)
         self._walk(ctx, tree)
         return sorted(ctx.diagnostics)
 
@@ -399,6 +424,7 @@ class Analyzer:
         is responsible for :meth:`~repro.lint.cache.LintCache.save`.
         """
         from .callgraph import build_graph, module_name_for_path
+        from .taint import build_taint_index
 
         self.stats = LintStats()
         files: list[str] = []
@@ -429,8 +455,13 @@ class Analyzer:
                 continue
 
         graph = build_graph(trees)
+        # The taint index consumes per-module summaries keyed by content
+        # hash alone, so it must be built *before* set_fingerprint (its
+        # own fingerprint is part of the environment fingerprint).
+        taint = build_taint_index(trees, texts=sources, cache=cache)
+        self.stats.taint_recomputed = taint.recomputed
         if cache is not None:
-            cache.set_fingerprint(self._fingerprint(graph))
+            cache.set_fingerprint(self._fingerprint(graph, taint))
 
         out: list[Diagnostic] = []
         for path in files:
@@ -446,7 +477,9 @@ class Analyzer:
                     out.extend(hit)
                     self.stats.files_cached += 1
                     continue
-            diags = self.lint_source(sources[path], path=path, graph=graph)
+            diags = self.lint_source(
+                sources[path], path=path, graph=graph, taint=taint
+            )
             if cache is not None:
                 cache.put(path, sources[path], diags)
             out.extend(diags)
@@ -455,9 +488,10 @@ class Analyzer:
         self.stats.count(result)
         return result
 
-    def _fingerprint(self, graph) -> str:
+    def _fingerprint(self, graph, taint=None) -> str:
         """Everything that can change a file's findings without its
-        bytes changing: rule set + config + interprocedural facts."""
+        bytes changing: rule set + config + interprocedural facts
+        (call-graph cleanup summaries *and* the resolved taint index)."""
         import hashlib
 
         h = hashlib.sha256()
@@ -476,6 +510,8 @@ class Analyzer:
         )
         h.update(repr(sorted(self.config.provider_schemas)).encode())
         h.update(graph.fingerprint().encode())
+        if taint is not None:
+            h.update(taint.fingerprint().encode())
         return h.hexdigest()
 
     # -- walking --------------------------------------------------------

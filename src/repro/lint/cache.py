@@ -12,9 +12,21 @@ drops the whole cache (correct by construction: a one-line edit in
 
 The on-disk format is one JSON document::
 
-    {"version": 1,
+    {"version": 2,
      "fingerprint": "....",
-     "files": {"src/repro/x.py": {"hash": "...", "diags": [...]}}}
+     "files": {"src/repro/x.py": {"hash": "...", "diags": [...]}},
+     "summaries": {"src/repro/x.py": {"hash": "...", "version": 1,
+                                      "payload": {...}}}}
+
+``summaries`` holds per-module **taint summaries** (the symbolic local
+phase of :mod:`repro.lint.taint`).  Unlike findings, a summary depends
+*only* on the file's bytes and the engine version — not on the rule set
+or the rest of the project — so it deliberately survives
+:meth:`LintCache.set_fingerprint` invalidation.  This breaks the
+chicken-and-egg with the fingerprint itself: the fingerprint *includes*
+the taint index (edits elsewhere can change this file's findings), but
+recomputing that index on a warm tree costs zero re-analysis because
+every unchanged module's summary is served from here.
 
 Corrupt or version-skewed cache files are treated as empty, never as
 errors — the cache is an accelerator, not a source of truth.
@@ -31,7 +43,7 @@ from .diagnostics import Diagnostic
 
 __all__ = ["LintCache", "source_hash"]
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
 
 
@@ -45,6 +57,7 @@ class LintCache:
     def __init__(self, path: str = DEFAULT_CACHE_PATH) -> None:
         self.path = path
         self._files: dict[str, dict] = {}
+        self._summaries: dict[str, dict] = {}
         self._fingerprint: Optional[str] = None
         self.hits = 0
         self.misses = 0
@@ -63,6 +76,9 @@ class LintCache:
         if isinstance(files, dict):
             self._files = files
             self._fingerprint = data.get("fingerprint")
+        summaries = data.get("summaries")
+        if isinstance(summaries, dict):
+            self._summaries = summaries
 
     # -- lifecycle ------------------------------------------------------
     def set_fingerprint(self, fingerprint: str) -> None:
@@ -93,6 +109,33 @@ class LintCache:
         }
         self._dirty = True
 
+    # -- taint summaries -------------------------------------------------
+    def get_summary(self, path: str, source: str) -> Optional[dict]:
+        """Cached taint-summary payload for ``path`` if its content and
+        the engine version both match (content hash only — see the
+        module docstring for why the fingerprint is *not* involved)."""
+        from .taint import TAINT_VERSION
+
+        entry = self._summaries.get(os.path.abspath(path))
+        if (
+            entry is not None
+            and entry.get("hash") == source_hash(source)
+            and entry.get("version") == TAINT_VERSION
+            and isinstance(entry.get("payload"), dict)
+        ):
+            return entry["payload"]
+        return None
+
+    def put_summary(self, path: str, source: str, payload: dict) -> None:
+        from .taint import TAINT_VERSION
+
+        self._summaries[os.path.abspath(path)] = {
+            "hash": source_hash(source),
+            "version": TAINT_VERSION,
+            "payload": payload,
+        }
+        self._dirty = True
+
     def save(self) -> None:
         if not self._dirty:
             return
@@ -100,6 +143,7 @@ class LintCache:
             "version": CACHE_VERSION,
             "fingerprint": self._fingerprint,
             "files": self._files,
+            "summaries": self._summaries,
         }
         tmp = f"{self.path}.tmp"
         try:

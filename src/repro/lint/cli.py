@@ -10,6 +10,7 @@ Examples
     python -m repro lint --fail-on warn            # strict: warnings also fail
     python -m repro lint --select D101,D102 path/  # run a subset of rules
     python -m repro lint --list-rules              # print the catalog
+    python -m repro lint --explain N701            # docs + bad/good example
     python -m repro lint src/repro --statistics    # per-rule counts, cache rate
     python -m repro lint --changed-only            # only files changed in git
     python -m repro lint --write-baseline          # ratchet: record current debt
@@ -77,6 +78,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print a rule's documentation, severity, and a minimal "
+        "bad/good example pair, then exit",
     )
     parser.add_argument(
         "--cache",
@@ -201,6 +209,36 @@ def render_report(
     return "\n".join(lines)
 
 
+def _explain_rule(catalog: dict, rule_id: str) -> int:
+    """Print one rule's documentation and its bad/good example pair
+    (the same sources the test suite pins — the bad twin must fire,
+    the good twin must stay silent)."""
+    rid = rule_id.strip().upper()
+    cls = catalog.get(rid)
+    if cls is None:
+        print(f"unknown rule id: {rid} (try --list-rules)")
+        return 2
+    lines = [f"{rid}  [{cls.severity}]  {cls.summary}", ""]
+    doc = (cls.__doc__ or "").strip("\n")
+    if doc:
+        import textwrap
+
+        lines.append(textwrap.dedent(" " * 4 + doc).strip())
+        lines.append("")
+    bad = getattr(cls, "example_bad", None)
+    good = getattr(cls, "example_good", None)
+    if bad:
+        lines.append("bad:")
+        lines.extend("    " + ln for ln in bad.rstrip("\n").splitlines())
+    if good:
+        lines.append("good:")
+        lines.extend("    " + ln for ln in good.rstrip("\n").splitlines())
+    if not bad and not good:
+        lines.append("(no example pair recorded for this rule)")
+    print("\n".join(lines).rstrip())
+    return 0
+
+
 def run_lint(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()  # repro: noqa[D101]  CLI wall-time report
     catalog = all_rules()
@@ -209,6 +247,8 @@ def run_lint(args: argparse.Namespace) -> int:
             cls = catalog[rid]
             print(f"{rid}  [{cls.severity}]  {cls.summary}")
         return 0
+    if getattr(args, "explain", None):
+        return _explain_rule(catalog, args.explain)
     for rid in _parse_ids(args.select) | _parse_ids(args.ignore):
         if rid not in catalog:
             print(f"unknown rule id: {rid} (try --list-rules)")

@@ -11,6 +11,8 @@ registry.  Three packs, id-spaced by concern:
 * ``R5xx`` — resource lifecycle over the CFG/call-graph engine
   (:mod:`.lifecycle`)
 * ``P6xx`` — hot-path performance candidates (:mod:`.hotpath`)
+* ``N7xx`` — interprocedural ordering/host taint flows
+  (:mod:`.ordering`, over :mod:`repro.lint.taint`)
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from . import (  # noqa: F401  (registration)
     flowdef,
     hotpath,
     lifecycle,
+    ordering,
     resilience,
 )
 from .dataflow import (
@@ -53,6 +56,13 @@ from .lifecycle import (
     SpanLeak,
     TempFileLeak,
 )
+from .ordering import (
+    IdentityOrderDependence,
+    LaunderedHostRead,
+    OrderTaintedSchedule,
+    UnorderedCompletionMerge,
+    UnorderedFloatAccumulation,
+)
 from .resilience import SwallowedFaultSignal
 
 __all__ = [
@@ -82,4 +92,9 @@ __all__ = [
     "HotpathAllocation",
     "PerElementArrayLoop",
     "InvariantLoopLookup",
+    "OrderTaintedSchedule",
+    "UnorderedCompletionMerge",
+    "UnorderedFloatAccumulation",
+    "IdentityOrderDependence",
+    "LaunderedHostRead",
 ]

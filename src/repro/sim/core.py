@@ -713,7 +713,9 @@ class Environment:
         """Total scheduled-but-undispatched entries, tombstones included."""
         n = len(self._queue) + len(self._lane_urgent) + len(self._lane_normal)
         if self._buckets:
-            n += sum(map(len, self._buckets.values()))
+            # integer sum: exact and associative, so bucket-dict order
+            # (which tracks timer churn) cannot perturb the count.
+            n += sum(map(len, self._buckets.values()))  # repro: noqa[N703]
         cur = self._cur
         if cur is not None:
             n += len(cur)

@@ -117,22 +117,34 @@ class VirtualFS:
             raise EndpointError(f"{self.name}:{p} does not exist") from None
 
     def listdir(self, prefix: str = "/") -> list[VirtualFile]:
-        """Files whose path starts with ``prefix`` (sorted by path)."""
+        """Files whose path starts with ``prefix`` (sorted by path).
+
+        ``self._files`` iterates in *mutation-history* order (deletions
+        make insertion order diverge from content), so every listing and
+        reduction here goes through ``sorted`` first — two stores with
+        identical contents must behave identically regardless of the
+        create/delete sequence that produced them.
+        """
         pre = posixpath.normpath("/" + prefix.strip().lstrip("/"))
         if not pre.endswith("/"):
             pre += "/"
-        out = [f for p, f in self._files.items() if p.startswith(pre) or pre == "/"]
-        return sorted(out, key=lambda f: f.path)
+        return [
+            self._files[p]
+            for p in sorted(self._files)
+            if p.startswith(pre) or pre == "/"
+        ]
 
     def __len__(self) -> int:
         return len(self._files)
 
     def __iter__(self) -> Iterator[VirtualFile]:
-        return iter(sorted(self._files.values(), key=lambda f: f.path))
+        return iter(self._files[p] for p in sorted(self._files))
 
     @property
     def total_bytes(self) -> float:
-        return sum(f.size_bytes for f in self._files.values())
+        # Summed in sorted-path order: float addition is order-sensitive
+        # and the dict's iteration order encodes deletion history.
+        return sum(self._files[p].size_bytes for p in sorted(self._files))
 
     # -- events ----------------------------------------------------------------
     def subscribe(self, callback: Callable[[VirtualFile], None]) -> Callable[[], None]:

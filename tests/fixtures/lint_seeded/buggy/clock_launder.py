@@ -1,0 +1,17 @@
+"""Reconstruction of the laundered wall-clock hazard: a helper reads
+time.time() and returns it as retry "jitter" — D101 only sees the
+helper; the bug is the flow of that value into env.timeout (N705)."""
+
+import time
+
+
+def _retry_jitter(attempt):
+    return (time.time() % 1.0) * attempt
+
+
+def retry_loop(env, op, attempts):
+    for attempt in range(attempts):
+        if op():
+            return True
+        yield env.timeout(_retry_jitter(attempt))
+    return False

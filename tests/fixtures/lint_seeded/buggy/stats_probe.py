@@ -1,0 +1,15 @@
+"""Reconstruction of the Table-1 drift hazard: in-flight byte totals
+accumulated over an unordered working set, so the rounded metric
+depends on hash order rather than the workload (N703)."""
+
+
+class ThroughputProbe:
+    def __init__(self, gauge):
+        self.gauge = gauge
+
+    def record(self, sizes):
+        inflight = set(sizes)
+        total = 0.0
+        for size in inflight:
+            total += size
+        self.gauge.set(total)

@@ -1,0 +1,12 @@
+"""Reconstruction of the parallel-sweep merge hazard: worker results
+appended in completion order, so the merged campaign table depends on
+process finish times instead of the variant grid (N702)."""
+
+from concurrent.futures import as_completed
+
+
+def merge_results(futures):
+    rows = []
+    for fut in as_completed(futures):
+        rows.append(fut.result())
+    return rows

@@ -1,0 +1,12 @@
+"""Reconstruction of the identity-tiebreak hazard: equal-priority
+waiters ordered by object id and a span annotated with an id() payload
+— both track the allocator, not the workload (N704)."""
+
+
+def drain_order(waiters):
+    # equal-priority waiters tie-broken by allocation address
+    return sorted(waiters, key=id)
+
+
+def annotate(span, task):
+    span.set("owner", id(task))

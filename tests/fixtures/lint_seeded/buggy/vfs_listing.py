@@ -1,0 +1,24 @@
+"""Reconstruction of the storage/vfs.py listing-order bug (PR 7): the
+store's dict iterates in create/delete *mutation-history* order, and a
+dispatch loop derives scheduling delays from that order — two stores
+with identical contents replay differently (N701)."""
+
+
+class Store:
+    def __init__(self):
+        self._files = {}
+
+    def add(self, path, size):
+        self._files[path] = size
+
+    def delete(self, path):
+        del self._files[path]
+
+    def pending(self):
+        # iteration order == mutation history, not content
+        return [p for p in self._files.keys()]
+
+
+def dispatch(env, store, spacing_s):
+    for idx, _path in enumerate(store.pending()):
+        yield env.timeout(idx * spacing_s)

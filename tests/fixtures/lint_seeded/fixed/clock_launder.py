@@ -1,0 +1,15 @@
+"""Fixed twin of the laundered wall-clock hazard: jitter comes from the
+seeded RNG stream, so retry timing replays bit-identically under a
+fixed seed."""
+
+
+def _retry_jitter(rng, attempt):
+    return rng.random() * attempt
+
+
+def retry_loop(env, rng, op, attempts):
+    for attempt in range(attempts):
+        if op():
+            return True
+        yield env.timeout(_retry_jitter(rng, attempt))
+    return False

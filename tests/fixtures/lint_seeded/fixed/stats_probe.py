@@ -1,0 +1,15 @@
+"""Fixed twin of the Table-1 drift hazard: the working set is sorted
+before accumulation, so the rounding sequence — and therefore the
+emitted metric — is identical on every run."""
+
+
+class ThroughputProbe:
+    def __init__(self, gauge):
+        self.gauge = gauge
+
+    def record(self, sizes):
+        inflight = set(sizes)
+        total = 0.0
+        for size in sorted(inflight):
+            total += size
+        self.gauge.set(total)

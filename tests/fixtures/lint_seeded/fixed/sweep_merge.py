@@ -1,0 +1,14 @@
+"""Fixed twin of the sweep-merge hazard, using the core/sweep.py
+ordered-merge idiom: results are stored keyed by submission index, so
+the merged table is a pure function of the inputs no matter which
+worker finishes first."""
+
+from concurrent.futures import as_completed
+
+
+def merge_results(futures):
+    # futures: dict[future -> submission index]
+    by_index = {}
+    for fut in as_completed(futures):
+        by_index[futures[fut]] = fut.result()
+    return [by_index[i] for i in sorted(by_index)]

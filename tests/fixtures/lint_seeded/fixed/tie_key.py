@@ -1,0 +1,11 @@
+"""Fixed twin of the identity-tiebreak hazard: ties break on a stable
+per-task attribute and the span records the task's name — both are
+pure functions of the workload."""
+
+
+def drain_order(waiters):
+    return sorted(waiters, key=lambda w: w.seq)
+
+
+def annotate(span, task):
+    span.set("owner", task.name)

@@ -1,0 +1,22 @@
+"""Fixed twin of the vfs listing-order bug: listings are sorted before
+anything downstream can depend on their order, so dispatch is a pure
+function of the store's contents."""
+
+
+class Store:
+    def __init__(self):
+        self._files = {}
+
+    def add(self, path, size):
+        self._files[path] = size
+
+    def delete(self, path):
+        del self._files[path]
+
+    def pending(self):
+        return sorted(self._files.keys())
+
+
+def dispatch(env, store, spacing_s):
+    for idx, _path in enumerate(store.pending()):
+        yield env.timeout(idx * spacing_s)

@@ -266,3 +266,31 @@ def test_changed_only_outside_a_work_tree_is_a_usage_error(
     code = lint_main([".", "--no-cache", "--changed-only"])
     assert code == 2
     assert "requires a git work tree" in capsys.readouterr().out
+
+
+def test_explain_prints_docs_and_example_pair(capsys):
+    assert lint_main(["--explain", "N701"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("N701  [error]")
+    assert "order-tainted value reaches a scheduling sink" in out
+    # the docstring body and both example twins are shown
+    assert "bad:" in out and "good:" in out
+    assert "os.listdir(root)" in out
+    assert "sorted(os.listdir(root))" in out
+
+
+def test_explain_is_case_insensitive(capsys):
+    assert lint_main(["--explain", "d101"]) == 0
+    assert capsys.readouterr().out.startswith("D101")
+
+
+def test_explain_unknown_rule_is_a_usage_error(capsys):
+    assert lint_main(["--explain", "Z999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().out
+
+
+def test_explain_examples_exist_for_every_n7_rule(capsys):
+    for rid in ("N701", "N702", "N703", "N704", "N705"):
+        assert lint_main(["--explain", rid]) == 0
+        out = capsys.readouterr().out
+        assert "bad:" in out and "good:" in out

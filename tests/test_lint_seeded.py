@@ -1,7 +1,9 @@
-"""The seeded fixture repo: one module per R5xx rule reconstructing a
-bug actually fixed in PRs 3–4, plus its fixed twin.  Each rule must
-catch its reconstruction and accept the fix — the end-to-end proof the
-pack would have caught the original regressions."""
+"""The seeded fixture repo: one module per R5xx/N7xx rule
+reconstructing a bug actually fixed in this repo's history (R5xx: PRs
+3–4 lifecycle bugs; N7xx: the PR-7 vfs listing-order bug and its
+ordering-hazard siblings), plus its fixed twin.  Each rule must catch
+its reconstruction and accept the fix — the end-to-end proof the packs
+would have caught the original regressions."""
 
 from __future__ import annotations
 
@@ -26,8 +28,18 @@ EXPECTED = {
     "R504": "node_pool.py",
 }
 
+EXPECTED_N7 = {
+    "N701": "vfs_listing.py",
+    "N702": "sweep_merge.py",
+    "N703": "stats_probe.py",
+    "N704": "tie_key.py",
+    "N705": "clock_launder.py",
+}
 
-@pytest.mark.parametrize("rid,filename", sorted(EXPECTED.items()))
+
+@pytest.mark.parametrize(
+    "rid,filename", sorted({**EXPECTED, **EXPECTED_N7}.items())
+)
 def test_each_rule_catches_its_bug_reconstruction(rid, filename):
     findings = lint_dir("buggy")
     hits = [d for d in findings if d.rule_id == rid]
@@ -40,6 +52,12 @@ def test_buggy_tree_has_exactly_the_seeded_lifecycle_findings():
     assert sorted({d.rule_id for d in findings}) == sorted(EXPECTED)
 
 
+def test_buggy_tree_has_exactly_the_seeded_ordering_findings():
+    findings = [d for d in lint_dir("buggy") if d.rule_id.startswith("N7")]
+    assert sorted({d.rule_id for d in findings}) == sorted(EXPECTED_N7)
+
+
 def test_fixed_twins_are_clean():
     findings = lint_dir("fixed")
     assert [d for d in findings if d.rule_id.startswith("R5")] == []
+    assert [d for d in findings if d.rule_id.startswith("N7")] == []

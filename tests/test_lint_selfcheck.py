@@ -59,15 +59,40 @@ def test_selfcheck_reports_statistics():
 
 
 def test_rule_catalog_is_complete():
-    # The catalog the self-check runs with: >= 10 rules across the five
+    # The catalog the self-check runs with: >= 10 rules across the six
     # packs, ids well-formed.
     from repro.lint import all_rules
 
     catalog = all_rules()
     assert len(catalog) >= 10
     packs = {rid[0] for rid in catalog}
-    assert packs == {"D", "S", "F", "R", "P"}
+    assert packs == {"D", "S", "F", "R", "P", "N"}
     assert all(len(rid) == 4 for rid in catalog)
     # the new packs each registered their full complement
     assert {"R501", "R502", "R503", "R504"} <= set(catalog)
     assert {"P601", "P602", "P603"} <= set(catalog)
+    assert {"N701", "N702", "N703", "N704", "N705"} <= set(catalog)
+
+
+def test_no_findings_beyond_committed_baseline():
+    # The ratchet: *any* new finding — warning or error — must either be
+    # fixed or explicitly accepted by regenerating LINT_BASELINE.json
+    # (`python -m repro lint --write-baseline`, the documented escape
+    # hatch).  The committed baseline is the repo's acknowledged debt.
+    from repro.lint import Baseline
+
+    baseline_path = os.path.join(
+        os.path.dirname(__file__), "..", "LINT_BASELINE.json"
+    )
+    assert os.path.exists(baseline_path), (
+        "LINT_BASELINE.json is missing — regenerate it with "
+        "`PYTHONPATH=src python -m repro lint src/repro --write-baseline`"
+    )
+    baseline = Baseline.load(baseline_path)
+    diagnostics = Analyzer().lint_paths([PACKAGE_ROOT])
+    fresh, _suppressed = baseline.apply(diagnostics)
+    assert not fresh, (
+        "new lint findings not in LINT_BASELINE.json (fix them, or "
+        "accept with --write-baseline):\n"
+        + "\n".join(d.format() for d in fresh)
+    )

@@ -1,0 +1,374 @@
+"""Hand-checked taint-summary fixtures for :mod:`repro.lint.taint`:
+propagation through returns, keyword arguments, comprehensions, and
+bound methods, the sanitizer catalog, summary serialization, and the
+incremental summary cache."""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+
+from repro.lint import LintCache, analyze_module, build_taint_index
+from repro.lint.taint import normalize_kinds
+
+
+def index_of(**modules):
+    """Build a resolved index from ``name=source`` module strings."""
+    trees = {
+        f"/proj/{name}.py": (name, ast.parse(src))
+        for name, src in modules.items()
+    }
+    return build_taint_index(trees)
+
+
+def kinds_of(index, qualname):
+    kinds, _params = index.ret_of(qualname)
+    return set(normalize_kinds(kinds))
+
+
+# -- sources and returns -------------------------------------------------
+
+
+def test_listing_return_is_order_tainted():
+    idx = index_of(
+        m="import os\n\ndef listing(root):\n    return [p for p in os.listdir(root)]\n"
+    )
+    assert kinds_of(idx, "m.listing") == {"order"}
+
+
+def test_sorted_listing_return_is_clean():
+    idx = index_of(
+        m="import os\n\ndef listing(root):\n    return sorted(os.listdir(root))\n"
+    )
+    assert kinds_of(idx, "m.listing") == set()
+
+
+def test_wall_clock_return_is_host_tainted():
+    idx = index_of(
+        m="import time\n\ndef stamp():\n    return time.time() * 1000.0\n"
+    )
+    assert kinds_of(idx, "m.stamp") == {"host"}
+
+
+def test_env_read_is_host_tainted():
+    idx = index_of(
+        m="import os\n\ndef knob():\n    return os.getenv('REPRO_KNOB', '1')\n"
+    )
+    assert kinds_of(idx, "m.knob") == {"host"}
+
+
+def test_id_return_is_ident_tainted():
+    idx = index_of(m="def tag(obj):\n    return id(obj)\n")
+    assert kinds_of(idx, "m.tag") == {"ident"}
+
+
+def test_set_materialization_becomes_order():
+    idx = index_of(
+        m="def pick(values):\n    pool = {v for v in values}\n    return list(pool)\n"
+    )
+    assert kinds_of(idx, "m.pick") == {"order"}
+
+
+def test_min_max_len_are_content_deterministic():
+    idx = index_of(
+        m=(
+            "def low(values):\n    return min(set(values))\n"
+            "def size(values):\n    return len(set(values))\n"
+        )
+    )
+    assert kinds_of(idx, "m.low") == set()
+    assert kinds_of(idx, "m.size") == set()
+
+
+def test_fsum_sanitizes_order():
+    idx = index_of(
+        m="import math\n\ndef total(values):\n    return math.fsum(set(values))\n"
+    )
+    assert kinds_of(idx, "m.total") == set()
+
+
+# -- interprocedural propagation ----------------------------------------
+
+
+def test_taint_propagates_through_helper_returns():
+    idx = index_of(
+        m=(
+            "import os\n"
+            "\n"
+            "def _scan(root):\n"
+            "    return os.listdir(root)\n"
+            "\n"
+            "def relay(root):\n"
+            "    return _scan(root)\n"
+            "\n"
+            "def outer(root):\n"
+            "    return relay(root)\n"
+        )
+    )
+    assert kinds_of(idx, "m._scan") == {"order"}
+    assert kinds_of(idx, "m.relay") == {"order"}
+    assert kinds_of(idx, "m.outer") == {"order"}
+
+
+def test_taint_propagates_across_modules():
+    idx = index_of(
+        scan="import glob\n\ndef frames(pat):\n    return glob.glob(pat)\n",
+        use="def order_of(pat):\n    return frames(pat)\n",
+    )
+    # bare-name fallback: `frames` is unambiguous project-wide
+    assert kinds_of(idx, "use.order_of") == {"order"}
+
+
+def test_param_flow_reaches_callee_sink_positionally():
+    idx = index_of(
+        m=(
+            "import os\n"
+            "\n"
+            "def arm(env, delay):\n"
+            "    yield env.timeout(delay)\n"
+            "\n"
+            "def drive(env, root):\n"
+            "    for n, _ in enumerate(os.listdir(root)):\n"
+            "        arm(env, n)\n"
+        )
+    )
+    sinks = [
+        (f.sink, set(f.kinds), f.via)
+        for f in idx.findings_for("/proj/m.py")
+    ]
+    assert ("schedule", {"order"}, "arm") in sinks
+    # and the callee's own summary records param 1 -> schedule
+    assert "schedule" in idx.sink_params["m.arm"][1]
+
+
+def test_param_flow_reaches_callee_sink_by_keyword():
+    idx = index_of(
+        m=(
+            "import os\n"
+            "\n"
+            "def arm(env, delay=0.0):\n"
+            "    yield env.timeout(delay)\n"
+            "\n"
+            "def drive(env, root):\n"
+            "    for n, _ in enumerate(os.listdir(root)):\n"
+            "        arm(env, delay=n)\n"
+        )
+    )
+    sinks = [(f.sink, set(f.kinds)) for f in idx.findings_for("/proj/m.py")]
+    assert ("schedule", {"order"}) in sinks
+
+
+def test_bound_method_offset_shifts_positional_args():
+    idx = index_of(
+        m=(
+            "import os\n"
+            "\n"
+            "class Pump:\n"
+            "    def arm(self, env, delay):\n"
+            "        yield env.timeout(delay)\n"
+            "\n"
+            "def drive(env, pump, root):\n"
+            "    names = os.listdir(root)\n"
+            "    pump.arm(env, names)\n"
+        )
+    )
+    sinks = [
+        (f.sink, set(f.kinds), f.via)
+        for f in idx.findings_for("/proj/m.py")
+    ]
+    assert ("schedule", {"order"}, "arm") in sinks
+    # self is param 0; the schedule-feeding param is `delay` at index 2
+    assert "schedule" in idx.sink_params["m.Pump.arm"][2]
+
+
+def test_comprehension_targets_bind_element_taint():
+    idx = index_of(
+        m=(
+            "import os\n"
+            "\n"
+            "def sizes(root):\n"
+            "    return [len(n) for n in os.listdir(root)]\n"
+            "\n"
+            "def pairs(root):\n"
+            "    return {n: 1 for n in os.listdir(root)}\n"
+        )
+    )
+    # the produced sequence inherits the generator's order even though
+    # len() sanitizes each element
+    assert kinds_of(idx, "m.sizes") == {"order"}
+    assert kinds_of(idx, "m.pairs") == {"order"}
+
+
+def test_keyed_store_is_an_ordering_barrier():
+    idx = index_of(
+        m=(
+            "from concurrent.futures import as_completed\n"
+            "\n"
+            "def merge(futures):\n"
+            "    out = {}\n"
+            "    for fut in as_completed(futures):\n"
+            "        out[futures[fut]] = fut.result()\n"
+            "    return [out[k] for k in sorted(out)]\n"
+        )
+    )
+    assert kinds_of(idx, "m.merge") == set()
+    assert idx.findings_for("/proj/m.py") == []
+
+
+def test_unstable_dict_attr_iteration_is_order_tainted():
+    idx = index_of(
+        m=(
+            "class Reg:\n"
+            "    def __init__(self):\n"
+            "        self._items = {}\n"
+            "\n"
+            "    def drop(self, k):\n"
+            "        del self._items[k]\n"
+            "\n"
+            "    def names(self):\n"
+            "        return [k for k in self._items.keys()]\n"
+        )
+    )
+    assert kinds_of(idx, "m.Reg.names") == {"order"}
+
+
+def test_growing_dict_attr_is_not_flagged():
+    # no deletions: insertion order is deterministic under a fixed
+    # op sequence, so iteration is not a hazard
+    idx = index_of(
+        m=(
+            "class Reg:\n"
+            "    def __init__(self):\n"
+            "        self._items = {}\n"
+            "\n"
+            "    def put(self, k, v):\n"
+            "        self._items[k] = v\n"
+            "\n"
+            "    def names(self):\n"
+            "        return [k for k in self._items.keys()]\n"
+        )
+    )
+    assert kinds_of(idx, "m.Reg.names") == set()
+
+
+# -- serialization and caching ------------------------------------------
+
+
+def test_module_taint_payload_round_trips():
+    src = (
+        "import os, time\n"
+        "\n"
+        "def launder(root):\n"
+        "    return os.listdir(root)\n"
+        "\n"
+        "def arm(env, root):\n"
+        "    for n, _ in enumerate(launder(root)):\n"
+        "        yield env.timeout(n + time.time())\n"
+    )
+    mt = analyze_module("/proj/m.py", "m", ast.parse(src))
+    payload = mt.to_payload()
+    # must survive an actual JSON round trip (the cache stores JSON)
+    revived = type(mt).from_payload(
+        "/proj/m.py", json.loads(json.dumps(payload))
+    )
+    assert revived.to_payload() == payload
+
+
+def test_cached_summaries_produce_identical_findings(tmp_path):
+    src = (
+        "import os\n"
+        "\n"
+        "def arm(env, root):\n"
+        "    for n, _ in enumerate(os.listdir(root)):\n"
+        "        yield env.timeout(n)\n"
+    )
+    path = str(tmp_path / "m.py")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(src)
+    trees = {path: ("m", ast.parse(src))}
+    texts = {path: src}
+    cache = LintCache(str(tmp_path / "cache.json"))
+
+    cold = build_taint_index(trees, texts=texts, cache=cache)
+    assert cold.recomputed == 1
+    cache.save()
+
+    warm_cache = LintCache(str(tmp_path / "cache.json"))
+    warm = build_taint_index(trees, texts=texts, cache=warm_cache)
+    assert warm.recomputed == 0
+    assert [f.key() for f in warm.findings_for(path)] == [
+        f.key() for f in cold.findings_for(path)
+    ]
+
+
+def test_summary_cache_invalidates_on_content_change(tmp_path):
+    cache = LintCache(str(tmp_path / "cache.json"))
+    src1 = "def f(x):\n    return x\n"
+    src2 = "def f(x):\n    return id(x)\n"
+    path = "/proj/m.py"
+    idx1 = build_taint_index(
+        {path: ("m", ast.parse(src1))}, texts={path: src1}, cache=cache
+    )
+    assert idx1.recomputed == 1
+    idx2 = build_taint_index(
+        {path: ("m", ast.parse(src2))}, texts={path: src2}, cache=cache
+    )
+    assert idx2.recomputed == 1  # bytes changed: summary recomputed
+    assert kinds_of(idx2, "m.f") == {"ident"}
+
+
+def test_summary_cache_survives_fingerprint_wipe(tmp_path):
+    # set_fingerprint wipes findings but must keep summaries: they
+    # depend only on file bytes and the engine version
+    cache = LintCache(str(tmp_path / "cache.json"))
+    src = "import os\n\ndef f(root):\n    return os.listdir(root)\n"
+    path = "/proj/m.py"
+    build_taint_index({path: ("m", ast.parse(src))}, texts={path: src}, cache=cache)
+    cache.set_fingerprint("a-different-environment")
+    assert cache.get_summary(path, src) is not None
+
+
+def test_index_fingerprint_tracks_module_semantics():
+    base = index_of(m="def f(x):\n    return x\n")
+    same = index_of(m="def f(x):\n    return x\n")
+    other = index_of(m="import os\n\ndef f(x):\n    return os.listdir(x)\n")
+    assert base.fingerprint() == same.fingerprint()
+    assert base.fingerprint() != other.fingerprint()
+
+
+def test_findings_are_deterministically_ordered():
+    src = (
+        "import os, time\n"
+        "\n"
+        "def a(env, root):\n"
+        "    for n, _ in enumerate(os.listdir(root)):\n"
+        "        yield env.timeout(n)\n"
+        "\n"
+        "def b(env):\n"
+        "    yield env.timeout(time.time())\n"
+    )
+    runs = [
+        [
+            f.key()
+            for f in index_of(m=src).findings_for("/proj/m.py")
+        ]
+        for _ in range(3)
+    ]
+    assert runs[0] == runs[1] == runs[2]
+    lines = [k[1] for k in runs[0]]
+    assert lines == sorted(lines)
+
+
+def test_stale_engine_version_is_ignored(tmp_path):
+    cache_path = str(tmp_path / "cache.json")
+    cache = LintCache(cache_path)
+    src = "def f(x):\n    return x\n"
+    path = "/proj/m.py"
+    cache.put_summary(path, src, {"module": "m", "functions": {}})
+    cache.save()
+    raw = json.load(open(cache_path))
+    raw["summaries"][os.path.abspath(path)]["version"] = -1
+    json.dump(raw, open(cache_path, "w"))
+    stale = LintCache(cache_path)
+    assert stale.get_summary(path, src) is None
