@@ -20,6 +20,10 @@ Commands
 ``chaos``
     Run a campaign under a named fault-injection scenario and print the
     delivered-vs-dropped breakdown plus the recovery report.
+``stream``
+    Run the same campaign through both ingest paths (file pipeline vs
+    :mod:`repro.stream`) and print the span-derived delivery-latency
+    breakdown, optionally under a chaos scenario.
 ``sweep``
     Run a grid of campaign variants across worker processes with a
     deterministic, submission-ordered merge (parallel == serial).
@@ -226,6 +230,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if breakdown["still_active"] else 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .chaos import NO_CHAOS, SCENARIOS
+    from .core import run_campaign
+    from .obs import (
+        derive_runs,
+        derive_stream_sessions,
+        format_ingest_comparison,
+        ingest_comparison,
+    )
+
+    plan = NO_CHAOS
+    if args.scenario is not None:
+        try:
+            plan = SCENARIOS[args.scenario]
+        except KeyError:
+            print(f"unknown chaos scenario {args.scenario!r} "
+                  f"(choices: {', '.join(sorted(SCENARIOS))})", file=sys.stderr)
+            return 2
+
+    results = {}
+    for mode in ("file", "stream"):
+        results[mode] = run_campaign(
+            args.use_case,
+            duration_s=args.duration,
+            seed=args.seed,
+            obs=True,
+            chaos=plan,
+            ingest=mode,
+        )
+    runs = derive_runs(results["file"].testbed.obs.tracer.spans)
+    sessions = derive_stream_sessions(results["stream"].testbed.obs.tracer.spans)
+    label = f" under {args.scenario!r}" if args.scenario else ""
+    print(f"{args.use_case}, {args.duration:.0f} s, seed {args.seed}{label}: "
+          f"{len(runs)} file run(s) vs {len(sessions)} stream session(s)")
+    renegotiations = sum(s.renegotiations for s in sessions)
+    if renegotiations:
+        print(f"stream renegotiations: {renegotiations} "
+              f"(duplicates delivered: {sum(s.duplicates for s in sessions)})")
+    print()
+    print(format_ingest_comparison(ingest_comparison(runs, sessions)))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .core.sweep import run_sweep_cli
 
@@ -343,6 +390,24 @@ def main(argv: "list[str] | None" = None) -> int:
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
+        "stream",
+        help="compare file vs streaming ingest latency head-to-head",
+    )
+    p.add_argument(
+        "use_case",
+        nargs="?",
+        default="hyperspectral",
+        choices=["hyperspectral", "spatiotemporal", "spectral-movie"],
+    )
+    p.add_argument("--duration", type=float, default=900.0, help="simulated seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--scenario", default=None,
+        help="also inject a named chaos scenario (see `chaos --list`)",
+    )
+    p.set_defaults(fn=_cmd_stream)
+
+    p = sub.add_parser(
         "sweep",
         help="run a campaign grid across worker processes (parallel == serial)",
     )
@@ -370,7 +435,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p.add_argument(
         "suite", nargs="?", default="all",
-        choices=["all", "kernel", "fabric", "campaign", "lint"],
+        choices=["all", "kernel", "fabric", "campaign", "lint", "stream"],
     )
     p.add_argument(
         "--check", action="store_true",

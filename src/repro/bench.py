@@ -35,6 +35,7 @@ __all__ = [
     "run_fabric_bench",
     "run_kernel_bench",
     "run_lint_bench",
+    "run_stream_bench",
     "run_suite",
     "write_suite",
 ]
@@ -341,6 +342,71 @@ def run_lint_bench(repeat: int = 3) -> dict[str, Any]:
     return metrics
 
 
+# -- stream suite ----------------------------------------------------------
+
+def _stream_delivery(n_sessions: int, chunks_per_session: int) -> Callable[[], int]:
+    """Publisher → receiver chunk delivery over a two-hop fabric path:
+    the streaming fast path's credit/ack/drain machinery under load."""
+    from .net import NetworkFabric, Topology
+    from .stream import StreamPublisher, StreamReceiver
+
+    def run() -> int:
+        env = Environment()
+        topo = Topology()
+        topo.add_node("inst")
+        topo.add_node("sw", kind="switch")
+        topo.add_node("node")
+        topo.add_link("inst", "sw", Gbps(1))
+        topo.add_link("sw", "node", Gbps(10))
+        fabric = NetworkFabric(env, topo)
+        receiver = StreamReceiver(env, host="node", ingest_bytes_per_s=400e6)
+        publisher = StreamPublisher(
+            env, fabric, receiver, src_host="inst",
+            chunk_bytes=MB(4), handshake_s=0.0,
+        )
+        sessions = []
+
+        def submit(env, i):
+            yield env.timeout(i * 0.2)
+            sessions.append(
+                publisher.start(f"/f{i}.emd", MB(4) * chunks_per_session)
+            )
+
+        for i in range(n_sessions):
+            env.process(submit(env, i))
+        env.run()
+        delivered = sum(1 for s in sessions if s.status == "DELIVERED")
+        assert delivered == n_sessions
+        return n_sessions * chunks_per_session
+
+    return run
+
+
+def run_stream_bench(repeat: int = 3) -> dict[str, Any]:
+    from .core import run_campaign
+
+    metrics: dict[str, Any] = {}
+    wall, n_chunks = _best_of(_stream_delivery(50, 16), repeat)
+    metrics["delivery_800_chunks"] = {
+        "n_ops": n_chunks,
+        "wall_s": wall,
+        "ops_per_s": n_chunks / wall,
+    }
+    wall, res = _best_of(
+        lambda: run_campaign(
+            "hyperspectral", duration_s=1800.0, seed=1, ingest="stream"
+        ),
+        repeat,
+    )
+    n_published = len(res.app.published_sessions)
+    metrics["campaign_stream_half_hour"] = {
+        "n_ops": n_published,
+        "wall_s": wall,
+        "ops_per_s": n_published / wall,
+    }
+    return metrics
+
+
 # -- campaign suite --------------------------------------------------------
 
 def run_campaign_bench(repeat: int = 3, include_sweep: bool = True) -> dict[str, Any]:
@@ -384,6 +450,7 @@ SUITES: dict[str, Callable[..., dict[str, Any]]] = {
     "fabric": run_fabric_bench,
     "campaign": run_campaign_bench,
     "lint": run_lint_bench,
+    "stream": run_stream_bench,
 }
 
 

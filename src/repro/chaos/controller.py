@@ -61,6 +61,7 @@ class ChaosController:
         compute_endpoints: tuple = (),
         rngs: Any = None,
         observer: Any = None,
+        stream: Any = None,
         tracer: Any = None,
         metrics: Any = None,
     ) -> None:
@@ -74,6 +75,7 @@ class ChaosController:
         self.compute_endpoints = tuple(compute_endpoints)
         self.rngs = rngs
         self.observer = observer
+        self.stream = stream
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
         self._lazy: dict[str, Any] = {}
@@ -125,6 +127,10 @@ class ChaosController:
             self.gates[name] = gate
             for w in gate.windows:
                 self.env.process(self._outage_process(w))
+        if self.stream is not None and "transfer" in self.gates:
+            # The streaming control plane rides the same data-movement
+            # service: a transfer outage also rejects stream handshakes.
+            self.stream.gate = self.gates["transfer"]
         for d in self.plan.degradations:
             if self.fabric is not None:
                 self.env.process(self._degradation_process(d))

@@ -11,7 +11,7 @@ needed for Table 1 / Fig. 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..chaos import ChaosController, ChaosPlan, NO_CHAOS
 from ..flows import FlowDefinition, FlowRun
@@ -60,17 +60,31 @@ class CampaignResult:
     use_case: UseCaseSpec
     duration_s: float
     testbed: Testbed
-    app: FlowTriggerApp
+    #: The trigger application: a :class:`FlowTriggerApp` in file mode,
+    #: a :class:`~repro.stream.StreamIngestApp` in stream mode.
+    app: Any
     copier: FileCopier
-    definition: FlowDefinition
+    #: The composed flow definition (file mode; None in stream mode).
+    definition: Optional[FlowDefinition]
     #: The armed chaos controller, or None for a clean campaign.
     chaos: Optional[ChaosController] = None
     #: The campaign's directory observer (chaos watcher crashes target it).
     observer: Optional[SimObserver] = None
+    #: Which ingest path the campaign ran ("file" | "stream").
+    ingest: str = "file"
 
     @property
     def runs(self) -> list[FlowRun]:
+        if self.ingest != "file":
+            return []
         return self.app.runs
+
+    @property
+    def stream_sessions(self) -> list:
+        """Stream-mode sessions (empty in file mode)."""
+        if self.ingest != "stream":
+            return []
+        return self.app.sessions
 
     @property
     def trace(self):
@@ -81,9 +95,16 @@ class CampaignResult:
 
     @property
     def completed_runs(self) -> list[FlowRun]:
+        if self.ingest != "file":
+            return []
         return self.app.completed_runs
 
     def table1(self) -> Table1Row:
+        if self.ingest != "file":
+            raise ValueError(
+                "Table 1 summarizes flow runs; stream-mode campaigns "
+                "report through result.stream_sessions"
+            )
         return table1_row(
             self.use_case.name,
             self.use_case.period_s,
@@ -106,8 +127,16 @@ def run_campaign(
     obs: bool = False,
     chaos: ChaosPlan = NO_CHAOS,
     trace: bool = False,
+    ingest: str = "file",
 ) -> CampaignResult:
     """Run one use case for ``duration_s`` simulated seconds.
+
+    ``ingest`` selects the data path per flow: ``"file"`` (default) is
+    the paper's watcher → transfer → polled-flow pipeline; ``"stream"``
+    sends chunked acquisitions straight from the instrument host to the
+    compute host over :mod:`repro.stream`, starting the analysis on
+    partial data.  The default path is untouched by the streaming code
+    (golden-trace gated).
 
     ``copier_mode="gated"`` reproduces the paper's pacing (next file at
     ``max(period, previous flow completion)`` — see DESIGN.md);
@@ -142,6 +171,8 @@ def run_campaign(
         spectral_movie_cost_model,
     )
 
+    if ingest not in ("file", "stream"):
+        raise ValueError(f"unknown ingest mode {ingest!r}")
     if isinstance(use_case, str):
         use_case = use_case_by_name(use_case)
     env = Environment(sanitize=sanitize, tiebreak=tiebreak)
@@ -177,18 +208,53 @@ def run_campaign(
         raise ValueError(f"unknown signal type {use_case.signal_type!r}")
     function_id = tb.compute.register_function(fn, cost, name=f"{use_case.name}-analysis")
 
-    if compression is not None:
-        if not isinstance(compression, CompressionSpec):
-            raise ValueError("compression must be a CompressionSpec")
-        tb.flows.register_provider(
-            LocalCompressProvider(tb.env, tb.user_fs, tb.rngs)
+    definition: Optional[FlowDefinition] = None
+    publisher = None
+    if ingest == "stream":
+        from ..stream import (
+            StreamIngestActionProvider,
+            StreamIngestApp,
+            StreamPublisher,
+            StreamReceiver,
         )
-        definition = compressed_picoprobe_flow(
-            tb.gladier, f"picoprobe-{use_case.name}-compressed", compression
+
+        if compression is not None:
+            raise ValueError(
+                "compression is a file-mode flow state; streaming ingest "
+                "sends raw chunks"
+            )
+        receiver = StreamReceiver(
+            env,
+            host="polaris-mom",
+            ingest_bytes_per_s=calibration.checksum_bytes_per_s,
+            tracer=tb.obs.tracer,
+            metrics=tb.obs.metrics,
         )
+        publisher = StreamPublisher(
+            env,
+            tb.fabric,
+            receiver,
+            src_host="picoprobe-user-machine",
+            rngs=tb.rngs,
+            efficiency=calibration.endpoint_efficiency,
+            tracer=tb.obs.tracer,
+            metrics=tb.obs.metrics,
+        )
+        app = StreamIngestApp(tb, publisher, function_id, checkpoint=checkpoint)
+        tb.flows.register_provider(StreamIngestActionProvider(app))
     else:
-        definition = picoprobe_flow(tb.gladier, f"picoprobe-{use_case.name}")
-    app = FlowTriggerApp(tb, definition, function_id, checkpoint=checkpoint)
+        if compression is not None:
+            if not isinstance(compression, CompressionSpec):
+                raise ValueError("compression must be a CompressionSpec")
+            tb.flows.register_provider(
+                LocalCompressProvider(tb.env, tb.user_fs, tb.rngs)
+            )
+            definition = compressed_picoprobe_flow(
+                tb.gladier, f"picoprobe-{use_case.name}-compressed", compression
+            )
+        else:
+            definition = picoprobe_flow(tb.gladier, f"picoprobe-{use_case.name}")
+        app = FlowTriggerApp(tb, definition, function_id, checkpoint=checkpoint)
     observer = SimObserver(tb.user_fs, prefix="/transfer")
     app.attach(observer)
 
@@ -205,6 +271,7 @@ def run_campaign(
             compute_endpoints=(tb.polaris,),
             rngs=tb.rngs,
             observer=observer,
+            stream=publisher,
             tracer=tb.obs.tracer,
             metrics=tb.obs.metrics,
         )
@@ -227,4 +294,5 @@ def run_campaign(
         definition=definition,
         chaos=controller,
         observer=observer,
+        ingest=ingest,
     )

@@ -31,6 +31,7 @@ __all__ = [
     "CheckpointError",
     "CalibrationError",
     "ChaosError",
+    "StreamError",
 ]
 
 
@@ -132,3 +133,7 @@ class CheckpointError(WatcherError):
 
 class CalibrationError(ReproError):
     """Testbed calibration parameters are inconsistent or out of range."""
+
+
+class StreamError(ReproError):
+    """Streaming-ingest failure (publisher/receiver protocol violation)."""

@@ -106,12 +106,23 @@ def _literal_str_dict(node: ast.AST) -> Optional[Mapping[str, str]]:
 
 
 def _class_literal_assign(node: ast.ClassDef, attr: str) -> Optional[ast.AST]:
+    """The value expression of a class-level ``attr = ...`` binding, in
+    either the bare (``name = "x"``) or annotated (``name: str = "x"``)
+    spelling; annotation-only declarations carry no value and don't
+    count."""
     for stmt in node.body:
         if (
             isinstance(stmt, ast.Assign)
             and len(stmt.targets) == 1
             and isinstance(stmt.targets[0], ast.Name)
             and stmt.targets[0].id == attr
+        ):
+            return stmt.value
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == attr
+            and stmt.value is not None
         ):
             return stmt.value
     return None

@@ -110,9 +110,11 @@ class NetworkFabric:
         self.topology = topology
         self.tracer = tracer if tracer is not None else NULL_TRACER
         m = metrics if metrics is not None else NULL_METRICS
+        self._metrics = m
         self._m_streams = m.counter("net.streams_started")
         self._m_bytes = m.counter("net.bytes_delivered")
         self._m_active = m.gauge("net.active_streams")
+        self._m_aborted: Any = None  # lazy; only aborting campaigns register it
         self._streams: dict[int, Stream] = {}
         #: Link key -> set of active stream ids crossing it.  The index
         #: behind component-restricted reallocation: a membership or
@@ -227,6 +229,62 @@ class NetworkFabric:
     def link_health(self, a: str, b: str) -> float:
         """Current health scale of the ``a``–``b`` link (1.0 = healthy)."""
         return self._link_scale.get(self.topology.link(a, b).key, 1.0)
+
+    def abort(self, done: Event) -> bool:
+        """Withdraw the in-flight transfer whose completion event is
+        ``done`` (the event :meth:`transfer` returned).
+
+        Returns ``True`` when a live stream was withdrawn; the event
+        then succeeds with the partially-delivered :class:`Stream`
+        (``remaining_bytes > 0`` marks the abort).  Returns ``False``
+        when the transfer already completed, or when the stream is
+        still inside its admission-latency window — in that case it
+        will be admitted and run to completion normally, so callers
+        that re-send the payload must be prepared to deduplicate.
+
+        This is the renegotiation hook for ``repro.stream``: a
+        publisher that times out on a blacked-out link withdraws the
+        stalled chunk streams before re-sending from the receiver's
+        acknowledged sequence number.
+        """
+        if done.triggered:
+            return False
+        stream = None
+        for s in self.active_streams:
+            if s.done is done:
+                stream = s
+                break
+        if stream is None:
+            return False
+        self._settle()
+        sid = stream.stream_id
+        del self._streams[sid]
+        del self._by_pair[(stream.src, stream.dst)][sid]
+        users = self._users
+        seeds: set[int] = set()
+        for link in stream.links:
+            key = link.key
+            remaining = users[key]
+            remaining.discard(sid)
+            if remaining:
+                seeds |= remaining
+            else:
+                del users[key]
+        self._active_cache = None
+        self._m_active.set(len(self._streams))
+        # Aborted partials do not count toward ``net.bytes_delivered``;
+        # aborts get their own (lazily created) counter so the chaos
+        # instrument never appears in a clean campaign's export.
+        if self._m_aborted is None:
+            self._m_aborted = self._metrics.counter("net.streams_aborted")
+        self._m_aborted.inc()
+        stream.rate = 0.0
+        stream.span.set("status", "aborted").finish()
+        done.succeed(stream)
+        if self._streams:
+            self._reallocate(seeds)
+        self._kick()
+        return True
 
     # -- internals -----------------------------------------------------------
     def _admit_after(self, stream: Stream, latency: float):

@@ -28,9 +28,13 @@ from .analysis import (
     RunTrace,
     Segment,
     StepTrace,
+    StreamSessionTrace,
     critical_path,
     derive_runs,
+    derive_stream_sessions,
     fig4_samples_from_traces,
+    format_ingest_comparison,
+    ingest_comparison,
     run_summary_stats,
 )
 from .export import metrics_to_csv, spans_to_chrome, spans_to_jsonl
@@ -66,9 +70,13 @@ __all__ = [
     "RunTrace",
     "StepTrace",
     "Segment",
+    "StreamSessionTrace",
     "derive_runs",
+    "derive_stream_sessions",
     "critical_path",
     "fig4_samples_from_traces",
+    "ingest_comparison",
+    "format_ingest_comparison",
     "run_summary_stats",
     # export
     "spans_to_jsonl",

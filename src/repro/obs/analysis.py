@@ -30,9 +30,13 @@ __all__ = [
     "StepTrace",
     "RunTrace",
     "Segment",
+    "StreamSessionTrace",
     "derive_runs",
+    "derive_stream_sessions",
     "critical_path",
     "fig4_samples_from_traces",
+    "ingest_comparison",
+    "format_ingest_comparison",
     "run_summary_stats",
 ]
 
@@ -239,6 +243,186 @@ def fig4_samples_from_traces(
         out["Active"].append(r.active_seconds)
         out["Overhead"].append(r.overhead_seconds)
     return out
+
+
+@dataclass(frozen=True)
+class StreamSessionTrace:
+    """One streaming-ingest session reconstructed from its spans.
+
+    Stitching mirrors the flow convention: the app's ``stream.session``
+    root and the publisher's ``stream.deliver`` root carry the same
+    ``session_id`` attribute (the streaming analogue of ``action_id``);
+    ``stream.analyze`` / ``stream.publish`` are children of the session
+    root.
+    """
+
+    session_id: str
+    path: str
+    status: str
+    start: float
+    end: float
+    deliver_start: Optional[float]
+    deliver_end: Optional[float]
+    analyze_start: Optional[float]
+    analyze_end: Optional[float]
+    publish_start: Optional[float]
+    publish_end: Optional[float]
+    renegotiations: int
+    duplicates: int
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.end - self.start
+
+    @property
+    def detection_to_analysis_seconds(self) -> Optional[float]:
+        """File detection to analysis submission — the latency the fast
+        path exists to cut (file mode pays staging + polling here)."""
+        if self.analyze_start is None:
+            return None
+        return self.analyze_start - self.start
+
+
+def derive_stream_sessions(spans: Sequence[Span]) -> list[StreamSessionTrace]:
+    """Reconstruct every finished streaming session from a span list.
+
+    Sessions come back in root-span creation order; sessions still in
+    flight when the clock stopped are skipped, exactly as
+    :func:`derive_runs` skips unfinished flow runs.
+    """
+    delivers: dict[str, Span] = {}
+    children: dict[int, list[Span]] = {}
+    roots: list[Span] = []
+    for span in spans:
+        if span.name == "stream.session":
+            roots.append(span)
+        elif span.name == "stream.deliver" and span.ended:
+            session_id = span.attrs.get("session_id")
+            if session_id is not None:
+                delivers[session_id] = span
+        elif span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+
+    sessions: list[StreamSessionTrace] = []
+    for root in roots:
+        if not root.ended:
+            continue
+        session_id = root.attrs.get("session_id", "")
+        deliver = delivers.get(session_id)
+        analyze: Optional[Span] = None
+        publish: Optional[Span] = None
+        for child in children.get(root.span_id, []):
+            if not child.ended:
+                continue
+            if child.name == "stream.analyze":
+                analyze = child
+            elif child.name == "stream.publish":
+                publish = child
+        sessions.append(
+            StreamSessionTrace(
+                session_id=session_id,
+                path=root.attrs.get("path", ""),
+                status=root.attrs.get("status", ""),
+                start=root.start,
+                end=root.end,
+                deliver_start=deliver.start if deliver is not None else None,
+                deliver_end=deliver.end if deliver is not None else None,
+                analyze_start=analyze.start if analyze is not None else None,
+                analyze_end=analyze.end if analyze is not None else None,
+                publish_start=publish.start if publish is not None else None,
+                publish_end=publish.end if publish is not None else None,
+                renegotiations=int(root.attrs.get("renegotiations", 0)),
+                duplicates=int(root.attrs.get("duplicates", 0)),
+            )
+        )
+    return sessions
+
+
+def _latency_stats(values: Sequence[float]) -> dict[str, float]:
+    if not values:
+        return {"n": 0.0}
+    arr = np.asarray(list(values))
+    return {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }
+
+
+def ingest_comparison(
+    file_runs: Sequence[RunTrace],
+    stream_sessions: Sequence[StreamSessionTrace],
+    analyze_state: str = "AnalyzeData",
+) -> dict[str, dict[str, dict[str, float]]]:
+    """The Fig.-4-style file-vs-stream delivery-latency breakdown.
+
+    Two quantities per ingest mode, over successful runs/sessions:
+    **detection→analysis** (file creation to analysis submission — file
+    mode pays staging transfer + flow transitions + polling detection
+    lag here, stream mode only ``threshold_chunks`` of delivery) and
+    **end-to-end** (creation to result published).  For file runs the
+    analysis submission instant is the ``analyze_state`` step's action
+    span start.
+    """
+    file_d2a: list[float] = []
+    file_e2e: list[float] = []
+    for r in file_runs:
+        if r.status != "SUCCEEDED":
+            continue
+        file_e2e.append(r.runtime_seconds)
+        try:
+            step = r.step(analyze_state)
+        except KeyError:
+            continue
+        if step.action_start is not None:
+            file_d2a.append(step.action_start - r.start)
+    stream_d2a: list[float] = []
+    stream_e2e: list[float] = []
+    for s in stream_sessions:
+        if s.status != "PUBLISHED":
+            continue
+        stream_e2e.append(s.end_to_end_seconds)
+        d2a = s.detection_to_analysis_seconds
+        if d2a is not None:
+            stream_d2a.append(d2a)
+    return {
+        "file": {
+            "detection_to_analysis_s": _latency_stats(file_d2a),
+            "end_to_end_s": _latency_stats(file_e2e),
+        },
+        "stream": {
+            "detection_to_analysis_s": _latency_stats(stream_d2a),
+            "end_to_end_s": _latency_stats(stream_e2e),
+        },
+    }
+
+
+def format_ingest_comparison(
+    comparison: dict[str, dict[str, dict[str, float]]]
+) -> str:
+    """Render :func:`ingest_comparison` as an aligned text table."""
+    rows = [
+        ("detection -> analysis", "detection_to_analysis_s"),
+        ("end to end", "end_to_end_s"),
+    ]
+    lines = [
+        f"{'latency (s)':<24}{'mode':<8}{'n':>5}{'mean':>10}"
+        f"{'p50':>10}{'p95':>10}{'max':>10}"
+    ]
+    for label, key in rows:
+        for mode in ("file", "stream"):
+            st = comparison[mode][key]
+            if not st.get("n"):
+                lines.append(f"{label:<24}{mode:<8}{0:>5}{'-':>10}")
+                continue
+            lines.append(
+                f"{label:<24}{mode:<8}{int(st['n']):>5}"
+                f"{st['mean']:>10.2f}{st['p50']:>10.2f}"
+                f"{st['p95']:>10.2f}{st['max']:>10.2f}"
+            )
+    return "\n".join(lines)
 
 
 def run_summary_stats(runs: Sequence[RunTrace]) -> dict[str, float]:

@@ -1,0 +1,215 @@
+"""The streaming counterpart of the flow-trigger application.
+
+Where :class:`~repro.core.app.FlowTriggerApp` answers a new file by
+launching a three-step Gladier flow (transfer → analyze → publish,
+each polled with exponential backoff), :class:`StreamIngestApp` drives
+the fast path: open a publisher session the moment the file appears,
+submit the analysis to the compute service as soon as the first
+``threshold_chunks`` chunks have landed (in-flight analysis on partial
+data — no staging wait, no polling detection lag), and publish the
+result straight to the search index once both the analysis and the
+remaining chunks finish.
+
+Checkpoint dedup, the gated copier's completion callbacks, and the
+portal's search documents all behave exactly as in file mode, so the
+two ingest modes are comparable run for run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+from ..compute import ComputeTaskStatus
+from ..errors import ComputeError, ServiceUnavailable
+from ..testbed import POLARIS_EP, PORTAL_INDEX, Testbed
+from ..watcher import CheckpointStore, FileCreatedEvent, SimObserver
+from .publisher import StreamPublisher
+from .session import StreamSession
+
+__all__ = ["StreamIngestApp"]
+
+
+class StreamIngestApp:
+    """Watches for new files and streams each to compute + search."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        publisher: StreamPublisher,
+        function_id: str,
+        checkpoint: Optional[CheckpointStore] = None,
+        dest_dir: str = "/picoprobe/data",
+        visible_to: tuple[str, ...] = ("public",),
+        max_attempts: int = 8,
+        backoff_initial_s: float = 1.0,
+        backoff_max_s: float = 30.0,
+    ) -> None:
+        self.testbed = testbed
+        self.publisher = publisher
+        self.function_id = function_id
+        # Note: an empty store is falsy, so test for None explicitly.
+        self.checkpoint = checkpoint if checkpoint is not None else CheckpointStore()
+        self.dest_dir = dest_dir.rstrip("/")
+        self.visible_to = visible_to
+        self.max_attempts = int(max_attempts)
+        self.backoff_initial_s = float(backoff_initial_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.sessions: list[StreamSession] = []
+        self.skipped: int = 0
+        #: Callbacks fired when a session reaches a terminal state.
+        self.on_complete: list[Callable[[StreamSession], None]] = []
+        self._by_id: dict[str, StreamSession] = {}
+
+    def attach(self, observer: SimObserver) -> None:
+        """Subscribe to a directory observer."""
+        observer.add_handler(self.handle_event)
+
+    def session(self, session_id: str) -> StreamSession:
+        """Look up a session by id (provider/status polling)."""
+        return self._by_id[session_id]
+
+    # -- event handling ---------------------------------------------------
+    def handle_event(self, event: FileCreatedEvent) -> StreamSession | None:
+        """Open a stream session for a new EMD file (or skip)."""
+        if not event.is_emd:
+            return None
+        if event.virtual is None:
+            raise ComputeError(
+                "StreamIngestApp drives simulated campaigns; real-filesystem "
+                "events carry no metadata to analyze"
+            )
+        vf = event.virtual
+        if self.checkpoint.is_processed(vf.path, vf.checksum):
+            self.skipped += 1
+            return None
+        session = self.publisher.start(vf.path, vf.size_bytes, virtual=vf)
+        self.checkpoint.mark_processed(vf.path, vf.checksum)
+        self.sessions.append(session)
+        self._by_id[session.session_id] = session
+        self.testbed.env.process(self._drive(session, vf))
+        return session
+
+    # -- retry helper ------------------------------------------------------
+    def _with_retries(self, session: StreamSession, op: Callable[[], Any]):
+        """Run a gated cloud call, retrying through outage windows with
+        the gate's connect-timeout charge plus capped backoff.  Returns
+        the call's result, or raises after ``max_attempts``."""
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except ServiceUnavailable as exc:
+                attempt += 1
+                if exc.connect_timeout_s > 0:
+                    yield self.testbed.env.timeout(exc.connect_timeout_s)
+                if attempt >= self.max_attempts:
+                    raise
+                delay = min(
+                    self.backoff_initial_s * (2.0 ** (attempt - 1)),
+                    self.backoff_max_s,
+                )
+                yield self.testbed.env.timeout(delay)
+
+    def _drive(self, session: StreamSession, vf: Any):
+        from ..core.functions import file_descriptor
+
+        tb = self.testbed
+        env = tb.env
+        # The session root span; the publisher's ``stream.deliver`` span
+        # carries the same ``session_id`` attribute (the stitching key,
+        # like ``action_id`` on action spans).
+        span = (
+            tb.obs.tracer.start("stream.session")
+            .set("session_id", session.session_id)
+            .set("path", vf.path)
+            .set("bytes", float(session.total_bytes))
+            .set("chunks", session.total_chunks)
+        )
+        try:
+            # 1. Partial data landed: kick off the analysis in flight.
+            yield session.threshold
+            dest_path = f"{self.dest_dir}/{os.path.basename(vf.path)}"
+            descriptor = file_descriptor(vf, dest_path)
+            analyze_span = tb.obs.tracer.start("stream.analyze", span)
+            try:
+                task_id = yield from self._with_retries(
+                    session,
+                    lambda: tb.compute.submit(
+                        tb.token,
+                        POLARIS_EP,
+                        self.function_id,
+                        file=descriptor,
+                    ),
+                )
+                session.analysis_started_at = env.now
+                # Publication needs the full acquisition on the node and
+                # the analysis output — wait for both.
+                yield env.all_of([tb.compute.wait(task_id), session.delivered])
+                session.analysis_done_at = env.now
+            finally:
+                analyze_span.finish()
+            task = tb.compute.task_record(task_id)
+            if task.status is not ComputeTaskStatus.SUCCESS:
+                session.status = "FAILED"
+                session.error = (
+                    task.outcome.error if task.outcome else "analysis failed"
+                )
+                return
+            content = task.outcome.result
+
+            # 2. Publish straight to the portal index.
+            subject = (
+                vf.metadata.acquisition_id if vf.metadata is not None else vf.checksum
+            )
+            publish_span = tb.obs.tracer.start("stream.publish", span)
+            try:
+                yield from self._publish_with_retries(session, subject, content)
+            finally:
+                publish_span.finish()
+            session.published_at = env.now
+            session.status = "PUBLISHED"
+        except ServiceUnavailable as exc:
+            session.status = "FAILED"
+            session.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            span.set("status", session.status).set(
+                "renegotiations", session.renegotiations
+            ).set("duplicates", session.duplicates).finish()
+            session.done.succeed(session)
+            for cb in list(self.on_complete):
+                cb(session)
+
+    def _publish_with_retries(self, session: StreamSession, subject: str, content: dict):
+        tb = self.testbed
+        attempt = 0
+        while True:
+            try:
+                yield from tb.search.ingest(
+                    tb.token,
+                    index=PORTAL_INDEX,
+                    subject=subject,
+                    content=content,
+                    visible_to=self.visible_to,
+                )
+                return
+            except ServiceUnavailable as exc:
+                attempt += 1
+                if exc.connect_timeout_s > 0:
+                    yield tb.env.timeout(exc.connect_timeout_s)
+                if attempt >= self.max_attempts:
+                    raise
+                delay = min(
+                    self.backoff_initial_s * (2.0 ** (attempt - 1)),
+                    self.backoff_max_s,
+                )
+                yield tb.env.timeout(delay)
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def completed_sessions(self) -> list[StreamSession]:
+        return [s for s in self.sessions if s.terminal]
+
+    @property
+    def published_sessions(self) -> list[StreamSession]:
+        return [s for s in self.sessions if s.status == "PUBLISHED"]

@@ -1,0 +1,82 @@
+"""A flow action provider for streaming ingest.
+
+Lets a Gladier flow delegate one state to the fast path: ``run`` opens
+a publisher session for a staged file and ``status`` reports ACTIVE
+until the session is published (or failed), so hybrid flows can mix
+streamed ingest with cloud-orchestrated steps.
+
+The schema declarations use annotated class attributes — the other
+literal form the analyzer's provider discovery accepts — so this
+provider doubles as the fixture proving ``F304``/``F404`` see both
+spellings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import FlowError
+from ..flows.action import ActionState, ActionStatus, check_body
+from ..watcher import FileCreatedEvent
+from .ingest import StreamIngestApp
+
+__all__ = ["StreamIngestActionProvider"]
+
+
+class StreamIngestActionProvider:
+    """Flow step: stream a file to compute + search, bypassing staging."""
+
+    name: str = "stream_ingest"
+    input_schema: dict = {
+        "path": "str",
+    }
+    output_schema: dict = {
+        "session_id": "str",
+        "chunks": "int",
+        "bytes": "number",
+        "renegotiations": "int",
+    }
+
+    def __init__(self, app: StreamIngestApp) -> None:
+        self.app = app
+
+    def run(self, body: dict[str, Any]) -> str:
+        check_body(self.name, self.input_schema, body)
+        vfs = self.app.testbed.user_fs
+        vf = vfs.stat(body["path"])  # raises EndpointError when missing
+        event = FileCreatedEvent(
+            path=vf.path, size_bytes=vf.size_bytes, mtime=vf.created_at, virtual=vf
+        )
+        session = self.app.handle_event(event)
+        if session is None:
+            raise FlowError(
+                f"file already ingested (checkpoint dedup): {vf.path!r}"
+            )
+        return session.session_id
+
+    def status(self, action_id: str) -> ActionStatus:
+        try:
+            session = self.app.session(action_id)
+        except KeyError:
+            raise FlowError(f"unknown stream session: {action_id!r}") from None
+        if not session.terminal:
+            return ActionStatus(state=ActionState.ACTIVE)
+        active = (
+            (session.published_at or self.app.testbed.env.now) - session.created_at
+        )
+        if session.status == "FAILED":
+            return ActionStatus(
+                state=ActionState.FAILED,
+                error=session.error or "stream ingest failed",
+                active_seconds=active,
+            )
+        return ActionStatus(
+            state=ActionState.SUCCEEDED,
+            result={
+                "session_id": session.session_id,
+                "chunks": session.total_chunks,
+                "bytes": session.total_bytes,
+                "renegotiations": session.renegotiations,
+            },
+            active_seconds=active,
+        )

@@ -1,0 +1,238 @@
+"""The instrument-side endpoint of the streaming fast path.
+
+A :class:`StreamPublisher` bypasses the file-watch → transfer → poll
+pipeline: as soon as an acquisition exists it is sliced into
+fixed-size chunks and pushed over the :class:`~repro.net.NetworkFabric`
+directly to the receiver's compute host, gated only by the receiver's
+credit window.
+
+Fault model (the chaos hooks this subsystem reuses):
+
+* **link blackouts** (:meth:`~repro.net.NetworkFabric.set_link_health`)
+  stall chunk streams at zero rate; a chunk that misses its delivery
+  timeout is withdrawn from the fabric
+  (:meth:`~repro.net.NetworkFabric.abort`), the control channel is
+  re-established (handshake + capped exponential backoff), and sending
+  resumes from the receiver's acknowledged sequence number — the gap
+  renegotiation;
+* **control-plane outages** (a :class:`~repro.chaos.ServiceGate` on
+  :attr:`StreamPublisher.gate`) reject new sessions and renegotiation
+  handshakes, charging the gate's connect timeout, exactly like the
+  cloud services.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from ..errors import ServiceUnavailable
+from ..net import NetworkFabric
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
+from ..rng import RngRegistry, lognormal_from_median
+from ..sim import Environment
+from ..units import MB
+from .receiver import StreamReceiver
+from .session import FrameChunk, StreamSession, chunk_sizes
+
+__all__ = ["StreamPublisher"]
+
+
+class StreamPublisher:
+    """Streams acquisitions chunk-by-chunk to a :class:`StreamReceiver`.
+
+    Parameters
+    ----------
+    env, fabric:
+        Simulation environment and the shared network.
+    receiver:
+        The compute-side endpoint sessions terminate on.
+    src_host:
+        Topology node the instrument writes from.
+    chunk_bytes:
+        Wire chunk size; the last chunk carries the remainder.
+    window:
+        Credit window — the bound on chunks in flight per session.
+    threshold_chunks:
+        In-order chunks required before the session's ``threshold``
+        event fires (the in-flight analysis kickoff).
+    chunk_timeout_s:
+        Delivery timeout per chunk before a gap renegotiation.
+    handshake_s:
+        Median control-channel setup time (per session and per
+        renegotiation).
+    efficiency:
+        Protocol efficiency applied to each chunk's fair share.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        receiver: StreamReceiver,
+        src_host: str,
+        rngs: Optional[RngRegistry] = None,
+        chunk_bytes: float = MB(8),
+        window: int = 8,
+        threshold_chunks: int = 4,
+        chunk_timeout_s: float = 30.0,
+        handshake_s: float = 0.05,
+        handshake_sigma: float = 0.2,
+        backoff_initial_s: float = 1.0,
+        backoff_max_s: float = 30.0,
+        abort_poll_s: float = 0.05,
+        efficiency: float = 1.0,
+        tracer: Any = None,
+        metrics: Any = None,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.receiver = receiver
+        self.src_host = src_host
+        self.rngs = rngs or RngRegistry(seed=0)
+        self.chunk_bytes = float(chunk_bytes)
+        self.window = int(window)
+        self.threshold_chunks = int(threshold_chunks)
+        self.chunk_timeout_s = float(chunk_timeout_s)
+        self.handshake_s = float(handshake_s)
+        self.handshake_sigma = float(handshake_sigma)
+        self.backoff_initial_s = float(backoff_initial_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.abort_poll_s = float(abort_poll_s)
+        self.efficiency = float(efficiency)
+        #: Chaos hook: a duck-typed outage gate (see
+        #: :class:`repro.chaos.ServiceGate`).  ``None`` means always up.
+        self.gate: Any = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._metrics = m
+        self._m_sessions = m.counter("stream.sessions_started")
+        self._m_chunks = m.counter("stream.chunks_sent")
+        self._m_bytes = m.counter("stream.bytes_sent")
+        self._m_renegotiations: Any = None  # lazy; chaos-path only
+        self._ids = itertools.count(1)
+        self.sessions: list[StreamSession] = []
+
+    # -- session start -----------------------------------------------------
+    def start(
+        self,
+        path: str,
+        nbytes: float,
+        virtual: Any = None,
+        parent_span: Any = None,
+    ) -> StreamSession:
+        """Open a session for one acquisition and start streaming it.
+
+        Returns immediately with the :class:`StreamSession`; delivery
+        runs as a DES process.  A control-plane outage never fails the
+        open — the delivery process retries its handshake through the
+        gate with backoff, so sessions opened mid-outage simply start
+        late.
+        """
+        sizes = chunk_sizes(nbytes, self.chunk_bytes)
+        session = StreamSession(
+            session_id=f"strm-{next(self._ids):06d}",
+            path=path,
+            total_bytes=float(nbytes),
+            chunk_bytes=self.chunk_bytes,
+            total_chunks=len(sizes),
+            threshold_chunks=min(self.threshold_chunks, len(sizes)),
+            created_at=self.env.now,
+            threshold=self.env.event(),
+            delivered=self.env.event(),
+            done=self.env.event(),
+            virtual=virtual,
+        )
+        self.sessions.append(session)
+        self._m_sessions.inc()
+        self.receiver.open(session, self.window)
+        self.env.process(self._run(session, sizes, parent_span))
+        return session
+
+    # -- internals ---------------------------------------------------------
+    def _handshake_jitter(self) -> float:
+        rng = self.rngs.stream("stream.handshake")
+        return lognormal_from_median(rng, self.handshake_s, self.handshake_sigma)
+
+    def _handshake(self, session: StreamSession) -> Generator:
+        """(Re-)establish the control channel, retrying through outages
+        with capped exponential backoff."""
+        attempt = 0
+        while True:
+            try:
+                if self.gate is not None:
+                    self.gate.check(self.env.now)
+            except ServiceUnavailable as exc:
+                if exc.connect_timeout_s > 0:
+                    yield self.env.timeout(exc.connect_timeout_s)
+                delay = min(
+                    self.backoff_initial_s * (2.0 ** attempt), self.backoff_max_s
+                )
+                attempt += 1
+                yield self.env.timeout(delay)
+                continue
+            if self.handshake_s > 0:
+                yield self.env.timeout(self._handshake_jitter())
+            return
+
+    def _run(self, session: StreamSession, sizes: "list[float]", parent_span: Any):
+        receiver = self.receiver
+        span = (
+            self.tracer.start("stream.deliver", parent_span)
+            .set("session_id", session.session_id)
+            .set("bytes", session.total_bytes)
+            .set("chunks", session.total_chunks)
+        )
+        try:
+            yield from self._handshake(session)
+            seq = 0
+            while seq < session.total_chunks:
+                yield receiver.credit(session)
+                chunk = FrameChunk(
+                    seq=seq, nbytes=sizes[seq], sent_at=self.env.now
+                )
+                if session.first_sent_at is None:
+                    session.first_sent_at = self.env.now
+                session.chunks_sent += 1
+                self._m_chunks.inc()
+                self._m_bytes.inc(chunk.nbytes)
+                done = self.fabric.transfer(
+                    self.src_host, receiver.host, chunk.nbytes, self.efficiency
+                )
+                timer = self.env.timeout(self.chunk_timeout_s)
+                yield self.env.any_of([done, timer])
+                if done.triggered:
+                    if not timer.processed:
+                        self.env.cancel(timer)
+                    receiver.arrived(session, chunk)
+                    seq = max(seq + 1, receiver.ack(session))
+                    continue
+                # Delivery timeout: withdraw the stalled stream.  A
+                # stream still inside its admission-latency window is
+                # not yet withdrawable — poll briefly; if the chunk
+                # lands meanwhile, count it delivered instead.
+                withdrawn = False
+                while not done.triggered:
+                    if self.fabric.abort(done):
+                        withdrawn = True
+                        break
+                    yield self.env.timeout(self.abort_poll_s)
+                if not withdrawn:
+                    receiver.arrived(session, chunk)
+                    seq = max(seq + 1, receiver.ack(session))
+                    continue
+                receiver.refund(session)
+                session.renegotiations += 1
+                if self._m_renegotiations is None:
+                    self._m_renegotiations = self._metrics.counter(
+                        "stream.renegotiations"
+                    )
+                self._m_renegotiations.inc()
+                yield from self._handshake(session)
+                # Resume from the receiver's acknowledged gap pointer.
+                seq = receiver.ack(session)
+            span.set("renegotiations", session.renegotiations)
+            yield session.delivered
+        finally:
+            span.finish()

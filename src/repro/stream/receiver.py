@@ -1,0 +1,180 @@
+"""The compute-side endpoint of the streaming fast path.
+
+One :class:`StreamReceiver` lives on a compute host and terminates
+every publisher session targeting it.  Per session it keeps:
+
+* a **credit store** bounding the in-flight window — credits are
+  consumed by the publisher before each send and returned only after
+  the chunk is drained into the node's frame buffer, so a slow
+  consumer blocks the producer (credit-based backpressure);
+* a **sequence ledger** — chunks are accepted exactly once, in order;
+  re-sent chunks that were already accepted (renegotiation overlap, a
+  withdrawn stream landing late) count as duplicates and refund their
+  credit immediately, so the analysis sees each frame exactly once;
+* a **drain process** charging the node-side ingest time
+  (``nbytes / ingest_bytes_per_s``) per accepted chunk, firing the
+  session's ``threshold`` event once the first N chunks have landed
+  (the in-flight analysis kickoff) and ``delivered`` on the last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import StreamError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
+from ..sim import Environment, Store
+from .session import FrameChunk, StreamSession
+
+__all__ = ["StreamReceiver"]
+
+
+@dataclass
+class _RxState:
+    """Per-session receive bookkeeping."""
+
+    credits: Store
+    arrivals: Store
+    #: Next sequence number not yet accepted (the renegotiation ack).
+    next_seq: int = 0
+    #: Chunks accepted out of order, awaiting their predecessors.
+    pending: dict[int, FrameChunk] = field(default_factory=dict)
+    #: Contiguously drained chunk count (threshold/delivery triggers).
+    drained: int = 0
+    #: High-water mark of chunks in flight (sent, not yet drained).
+    max_in_flight: int = 0
+
+
+class StreamReceiver:
+    """Reassembles chunk streams on a compute host.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    host:
+        Topology node name this receiver terminates streams on.
+    ingest_bytes_per_s:
+        Node-side drain rate (frame-buffer write + decode); ``0``
+        disables the charge.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        host: str,
+        ingest_bytes_per_s: float = 0.0,
+        tracer: Any = None,
+        metrics: Any = None,
+    ) -> None:
+        self.env = env
+        self.host = host
+        self.ingest_bytes_per_s = float(ingest_bytes_per_s)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = metrics if metrics is not None else NULL_METRICS
+        self._metrics = m
+        self._m_chunks = m.counter("stream.chunks_delivered")
+        self._m_bytes = m.counter("stream.bytes_delivered")
+        self._m_duplicates: Any = None  # lazy; clean runs never see one
+        self._states: dict[str, _RxState] = {}
+
+    # -- session lifecycle -------------------------------------------------
+    def open(self, session: StreamSession, window: int) -> None:
+        """Allocate receive state and start the drain process."""
+        if session.session_id in self._states:
+            raise StreamError(f"session already open: {session.session_id!r}")
+        if window < 1:
+            raise StreamError(f"window must be >= 1, got {window}")
+        credits = Store(self.env, capacity=window)
+        for _ in range(window):
+            credits.put(1)
+        state = _RxState(credits=credits, arrivals=Store(self.env))
+        self._states[session.session_id] = state
+        self.env.process(self._drain(session, state))
+
+    def _state(self, session: StreamSession) -> _RxState:
+        try:
+            return self._states[session.session_id]
+        except KeyError:
+            raise StreamError(
+                f"no open session: {session.session_id!r}"
+            ) from None
+
+    # -- publisher-facing protocol ----------------------------------------
+    def credit(self, session: StreamSession):
+        """Event firing when a window credit is available (consume it
+        before sending a chunk)."""
+        return self._state(session).credits.get()
+
+    def refund(self, session: StreamSession) -> None:
+        """Return the credit of a chunk that was withdrawn before
+        delivery (the publisher re-acquires one for the resend)."""
+        self._state(session).credits.put(1)
+
+    def ack(self, session: StreamSession) -> int:
+        """The next sequence number this receiver needs — the resume
+        point a renegotiating publisher queries."""
+        return self._state(session).next_seq
+
+    def in_flight(self, session: StreamSession) -> int:
+        """Chunks currently holding a window credit."""
+        state = self._state(session)
+        return int(state.credits.capacity) - len(state.credits.items)
+
+    def arrived(self, session: StreamSession, chunk: FrameChunk) -> None:
+        """A chunk's fabric stream completed: accept or deduplicate.
+
+        Accepted chunks queue for the drain process in sequence order;
+        already-accepted sequence numbers refund their credit at once.
+        """
+        state = self._state(session)
+        window_used = self.in_flight(session)
+        if window_used > state.max_in_flight:
+            state.max_in_flight = window_used
+        if chunk.seq < state.next_seq or chunk.seq in state.pending:
+            session.duplicates += 1
+            if self._m_duplicates is None:
+                self._m_duplicates = self._metrics.counter("stream.duplicates")
+            self._m_duplicates.inc()
+            state.credits.put(1)
+            return
+        if session.first_chunk_at is None:
+            session.first_chunk_at = self.env.now
+        state.pending[chunk.seq] = chunk
+        # Release the contiguous run into the drain queue.  The walk is
+        # counter-driven (not an iteration over the mutating dict), so
+        # arrival order cannot leak into delivery order.
+        while state.next_seq in state.pending:
+            state.arrivals.put(state.pending.pop(state.next_seq))
+            state.next_seq += 1
+
+    # -- node-side drain ---------------------------------------------------
+    def _drain(self, session: StreamSession, state: _RxState):
+        span = (
+            self.tracer.start("stream.drain")
+            .set("session_id", session.session_id)
+            .set("host", self.host)
+        )
+        try:
+            while state.drained < session.total_chunks:
+                chunk = yield state.arrivals.get()
+                if self.ingest_bytes_per_s > 0 and chunk.nbytes > 0:
+                    yield self.env.timeout(chunk.nbytes / self.ingest_bytes_per_s)
+                state.drained += 1
+                self._m_chunks.inc()
+                self._m_bytes.inc(chunk.nbytes)
+                if (
+                    state.drained >= session.threshold_chunks
+                    and session.threshold_at is None
+                ):
+                    session.threshold_at = self.env.now
+                    session.threshold.succeed(session)
+                state.credits.put(1)
+            session.last_chunk_at = self.env.now
+            session.status = "DELIVERED"
+            span.set("chunks", state.drained)
+            session.delivered.succeed(session)
+        finally:
+            span.finish()

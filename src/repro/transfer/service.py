@@ -209,7 +209,20 @@ class TransferService:
         yield self.env.timeout(self._jitter(self.api_latency_s))
         task.status = TaskStatus.ACTIVE
         task.started_at = self.env.now
-        source_file = src.vfs.stat(task.source_path)
+        try:
+            source_file = src.vfs.stat(task.source_path)
+        except EndpointError as exc:
+            # The source vanished between submission and execution start
+            # (chaos node kill, watcher replay race).  Terminate the task
+            # instead of letting the process die with it stuck ACTIVE.
+            task.status = TaskStatus.FAILED
+            task.completed_at = self.env.now
+            task.error = f"source disappeared before transfer: {exc}"
+            span.set("status", "FAILED").set("attempts", task.attempts).finish()
+            self._m_failed.inc()
+            self._m_duration.observe(task.duration)
+            self._task_events[task.task_id].succeed(task)
+            return
 
         while True:
             task.attempts += 1

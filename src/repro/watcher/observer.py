@@ -104,7 +104,12 @@ class PollingObserver:
         n = 0
         while self._clock() < deadline:
             n += len(self.poll_once())
-            self._sleep(interval_s)
+            # Clamp the trailing sleep to the remaining budget so the
+            # loop never overshoots ``duration_s`` by a full interval.
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            self._sleep(min(interval_s, remaining))
         return n
 
 
@@ -127,10 +132,20 @@ class SimObserver:
     def add_handler(self, handler: Handler) -> None:
         self._handlers.append(handler)
 
+    def _matches(self, path: str) -> bool:
+        """Prefix/suffix filter shared by live events and crash-replay.
+
+        The root prefix (``"/"``) accepts every path, agreeing with
+        ``VirtualFS.listdir`` rather than testing against ``"//"``.
+        """
+        if self.prefix != "/" and not path.startswith(self.prefix + "/"):
+            return False
+        if self.suffixes and not path.endswith(self.suffixes):
+            return False
+        return True
+
     def _on_create(self, f: VirtualFile) -> None:
-        if self.prefix != "/" and not f.path.startswith(self.prefix + "/"):
-            return
-        if self.suffixes and not f.path.endswith(self.suffixes):
+        if not self._matches(f.path):
             return
         self.events_seen += 1
         ev = FileCreatedEvent(
@@ -161,15 +176,17 @@ class SimObserver:
         handlers, exactly like the watcher app's startup scan; handlers
         dedup via their checkpoint store, so already-dispatched files are
         skipped rather than double-triggered.  Returns the number of
-        files replayed.  Restarting a running observer is an error —
-        it would double-subscribe and dispatch every event twice.
+        files actually dispatched to handlers (listdir entries rejected
+        by the prefix/suffix filter are not counted).  Restarting a
+        running observer is an error — it would double-subscribe and
+        dispatch every event twice.
         """
         if self._unsubscribe is not None:
             raise WatcherError("observer is already running")
         self._unsubscribe = self.vfs.subscribe(self._on_create)
         if not replay:
             return 0
-        files = self.vfs.listdir(self.prefix)
-        for f in files:
+        before = self.events_seen
+        for f in self.vfs.listdir(self.prefix):
             self._on_create(f)
-        return len(files)
+        return self.events_seen - before

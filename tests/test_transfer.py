@@ -382,3 +382,23 @@ def test_transient_retry_partial_bytes_accounting():
     delivered = metrics.counter("net.bytes_delivered").value
     # partial fraction is drawn from [0.05, 0.9] — never free, never full
     assert nbytes * 1.05 <= delivered <= nbytes * 1.9
+
+
+def test_source_deleted_before_execution_fails_task(world):
+    """Regression: a source vanishing between submission and execution
+    start used to kill the execute process, leaving the task stuck
+    ACTIVE and its waiters pending forever."""
+    env, service, token, src_fs, dst_fs, *_ = world
+    src_fs.create("/transfer/gone.emd", MB(10), created_at=0)
+    tid = service.submit(
+        token, "picoprobe-user", "/transfer/gone.emd", "alcf-eagle", "/data/gone.emd"
+    )
+    src_fs.delete("/transfer/gone.emd")  # vanishes before execution starts
+    done = service.wait(tid)
+    env.run()
+    task = service.task_record(tid)
+    assert task.status is TaskStatus.FAILED
+    assert task.completed_at is not None
+    assert "disappeared" in task.error
+    assert done.triggered  # waiters released, not stuck
+    assert not dst_fs.exists("/data/gone.emd")

@@ -289,3 +289,52 @@ def test_sim_observer_restart_while_running_raises():
     obs = SimObserver(vfs)
     with pytest.raises(WatcherError):
         obs.restart()  # would double-subscribe and dispatch twice
+
+
+def test_polling_observer_run_for_clamps_trailing_sleep(tmp_path):
+    """Regression: the last sleep used to run a full interval past the
+    deadline, overshooting ``duration_s`` by up to ``interval_s``."""
+    clock = FakeClock()
+    obs = PollingObserver(tmp_path, clock=clock, sleep=clock.sleep)
+    obs.run_for(duration_s=0.9, interval_s=0.4)
+    assert clock.sleeps == [0.4, 0.4, pytest.approx(0.1)]
+    assert clock.now == pytest.approx(0.9)
+
+
+def test_polling_observer_run_for_exact_multiple_unchanged(tmp_path):
+    """A duration that divides evenly keeps the historical schedule."""
+    clock = FakeClock()
+    obs = PollingObserver(tmp_path, clock=clock, sleep=clock.sleep)
+    obs.run_for(duration_s=10.0, interval_s=0.5)
+    assert clock.sleeps == [0.5] * 20
+    assert clock.now == pytest.approx(10.0)
+
+
+def test_sim_observer_restart_counts_only_dispatched_files():
+    """Regression: ``restart(replay=True)`` used to return the raw
+    ``listdir`` length, counting files the prefix/suffix filter then
+    rejected."""
+    vfs = VirtualFS("user")
+    obs = SimObserver(vfs, prefix="/transfer")
+    seen = []
+    obs.add_handler(lambda e: seen.append(e.path))
+    vfs.create("/transfer/a.emd", 1, created_at=0.0)
+    obs.stop()
+    vfs.create("/transfer/b.emd", 1, created_at=1.0)  # missed while down
+    vfs.create("/transfer/skip.txt", 1, created_at=1.5)  # filtered suffix
+    replayed = obs.restart(replay=True)
+    assert replayed == 2  # a + b dispatched; skip.txt rejected, not counted
+    assert seen == ["/transfer/a.emd", "/transfer/a.emd", "/transfer/b.emd"]
+
+
+def test_sim_observer_root_prefix_matches_listdir():
+    """The root prefix accepts every path, live and replayed alike."""
+    vfs = VirtualFS("user")
+    obs = SimObserver(vfs, prefix="/")
+    seen = []
+    obs.add_handler(lambda e: seen.append(e.path))
+    vfs.create("/a.emd", 1, created_at=0.0)
+    assert seen == ["/a.emd"]
+    obs.stop()
+    vfs.create("/deep/b.emd", 1, created_at=1.0)
+    assert obs.restart(replay=True) == 2
