@@ -24,6 +24,12 @@ Commands
     Run the same campaign through both ingest paths (file pipeline vs
     :mod:`repro.stream`) and print the span-derived delivery-latency
     breakdown, optionally under a chaos scenario.
+``integrity``
+    Run a data-corruption campaign with the integrity ledger armed,
+    scrub the stores, and print the span-derived audit: every injected
+    corruption repaired or quarantined, with the file-vs-stream
+    detection-latency breakdown.  ``--audit`` gates the exit status on
+    zero silent acceptances.
 ``sweep``
     Run a grid of campaign variants across worker processes with a
     deterministic, submission-ordered merge (parallel == serial).
@@ -273,6 +279,36 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_integrity(args: argparse.Namespace) -> int:
+    from .integrity import format_audit, run_integrity_campaign
+
+    modes = ["file", "stream"] if args.ingest == "both" else [args.ingest]
+    all_ok = True
+    for mode in modes:
+        result, report = run_integrity_campaign(
+            scenario=args.scenario,
+            use_case=args.use_case,
+            duration_s=args.duration,
+            seed=args.seed,
+            ingest=mode,
+        )
+        print(
+            f"scenario {args.scenario!r} on {args.use_case} "
+            f"({mode} ingest), {args.duration:.0f} s, seed {args.seed}"
+        )
+        print(format_audit(report))
+        ledger = result.ledger
+        if ledger is not None and ledger.quarantined:
+            print("quarantine dead-letter:")
+            for q in ledger.quarantined:
+                print(f"  t={q.at:8.1f}s  {q.path}  ({q.reason})")
+        print()
+        all_ok = all_ok and report.ok
+    if args.audit:
+        return 0 if all_ok else 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .core.sweep import run_sweep_cli
 
@@ -408,6 +444,32 @@ def main(argv: "list[str] | None" = None) -> int:
     p.set_defaults(fn=_cmd_stream)
 
     p = sub.add_parser(
+        "integrity",
+        help="audit a corruption campaign: zero silent acceptances",
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        default="corruption",
+        help="chaos scenario to audit (see `chaos --list`)",
+    )
+    p.add_argument(
+        "--use-case",
+        default="hyperspectral",
+        choices=["hyperspectral", "spatiotemporal", "spectral-movie"],
+    )
+    p.add_argument("--duration", type=float, default=3600.0, help="simulated seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ingest", default="both", choices=["file", "stream", "both"]
+    )
+    p.add_argument(
+        "--audit", action="store_true",
+        help="exit nonzero unless the audit proves zero silent acceptances",
+    )
+    p.set_defaults(fn=_cmd_integrity)
+
+    p = sub.add_parser(
         "sweep",
         help="run a campaign grid across worker processes (parallel == serial)",
     )
@@ -435,7 +497,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p.add_argument(
         "suite", nargs="?", default="all",
-        choices=["all", "kernel", "fabric", "campaign", "lint", "stream"],
+        choices=["all", "kernel", "fabric", "campaign", "lint", "stream", "integrity"],
     )
     p.add_argument(
         "--check", action="store_true",

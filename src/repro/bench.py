@@ -33,6 +33,7 @@ __all__ = [
     "check_against_baseline",
     "run_campaign_bench",
     "run_fabric_bench",
+    "run_integrity_bench",
     "run_kernel_bench",
     "run_lint_bench",
     "run_stream_bench",
@@ -407,6 +408,97 @@ def run_stream_bench(repeat: int = 3) -> dict[str, Any]:
     return metrics
 
 
+# -- integrity suite -------------------------------------------------------
+
+def _stream_delivery_with_digests(
+    n_sessions: int, chunks_per_session: int, verified: bool
+) -> Callable[[], int]:
+    """The stream-delivery workload with per-chunk verification on or
+    off — the pair behind the integrity-overhead metric."""
+    from .net import NetworkFabric, Topology
+    from .stream import StreamPublisher, StreamReceiver
+
+    def run() -> int:
+        env = Environment()
+        topo = Topology()
+        topo.add_node("inst")
+        topo.add_node("sw", kind="switch")
+        topo.add_node("node")
+        topo.add_link("inst", "sw", Gbps(1))
+        topo.add_link("sw", "node", Gbps(10))
+        fabric = NetworkFabric(env, topo)
+        receiver = StreamReceiver(env, host="node", ingest_bytes_per_s=400e6)
+        publisher = StreamPublisher(
+            env, fabric, receiver, src_host="inst",
+            chunk_bytes=MB(4), handshake_s=0.0,
+        )
+        sessions = []
+
+        def submit(env, i):
+            yield env.timeout(i * 0.2)
+            sessions.append(
+                publisher.start(
+                    f"/f{i}.emd",
+                    MB(4) * chunks_per_session,
+                    digest=f"digest-{i:04d}" if verified else None,
+                )
+            )
+
+        for i in range(n_sessions):
+            env.process(submit(env, i))
+        env.run()
+        delivered = sum(1 for s in sessions if s.status == "DELIVERED")
+        assert delivered == n_sessions
+        if verified:
+            assert all(s.naks == 0 for s in sessions)
+        return n_sessions * chunks_per_session
+
+    return run
+
+
+def run_integrity_bench(repeat: int = 3) -> dict[str, Any]:
+    """Integrity is free when disabled and cheap when enabled: the same
+    chunk-delivery workload with verification off vs on (the committed
+    baseline pins both; ``benchmarks/bench_integrity.py`` asserts the
+    on/off ratio), plus a full corruption campaign with its audit."""
+    from .integrity import run_integrity_campaign
+
+    metrics: dict[str, Any] = {}
+    wall_plain, n_chunks = _best_of(
+        _stream_delivery_with_digests(50, 16, verified=False), repeat
+    )
+    metrics["delivery_800_chunks_plain"] = {
+        "n_ops": n_chunks,
+        "wall_s": wall_plain,
+        "ops_per_s": n_chunks / wall_plain,
+    }
+    wall_verified, n_chunks = _best_of(
+        _stream_delivery_with_digests(50, 16, verified=True), repeat
+    )
+    metrics["delivery_800_chunks_verified"] = {
+        "n_ops": n_chunks,
+        "wall_s": wall_verified,
+        "ops_per_s": n_chunks / wall_verified,
+        "overhead_pct": 100.0 * (wall_verified - wall_plain) / wall_plain,
+    }
+    wall, out = _best_of(
+        lambda: run_integrity_campaign(
+            duration_s=600.0, seed=3, ingest="stream"
+        ),
+        repeat,
+    )
+    result, report = out
+    n_sessions = len(result.app.sessions)
+    metrics["corruption_campaign_10min"] = {
+        "n_ops": n_sessions,
+        "wall_s": wall,
+        "ops_per_s": n_sessions / wall,
+        "injections": report.counts["injections"],
+        "audit_ok": report.ok,
+    }
+    return metrics
+
+
 # -- campaign suite --------------------------------------------------------
 
 def run_campaign_bench(repeat: int = 3, include_sweep: bool = True) -> dict[str, Any]:
@@ -451,6 +543,7 @@ SUITES: dict[str, Callable[..., dict[str, Any]]] = {
     "campaign": run_campaign_bench,
     "lint": run_lint_bench,
     "stream": run_stream_bench,
+    "integrity": run_integrity_bench,
 }
 
 

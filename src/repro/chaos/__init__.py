@@ -14,10 +14,13 @@ The subsystem has three layers:
 """
 
 from .controller import ChaosController
+from .corruption import ChunkCorruptor
 from .gate import ServiceGate
 from .plan import (
     CHAOS_SERVICES,
+    BitRotWindow,
     ChaosPlan,
+    DataCorruptionSpec,
     LinkDegradation,
     NO_CHAOS,
     NodeFailureSpec,
@@ -28,8 +31,11 @@ from .scenarios import SCENARIOS, delivery_breakdown, run_chaos_campaign, scenar
 
 __all__ = [
     "CHAOS_SERVICES",
+    "BitRotWindow",
     "ChaosController",
     "ChaosPlan",
+    "ChunkCorruptor",
+    "DataCorruptionSpec",
     "LinkDegradation",
     "NO_CHAOS",
     "NodeFailureSpec",

@@ -13,7 +13,15 @@ declares:
   :class:`~repro.chaos.plan.NodeFailureSpec` plus a dedicated
   ``chaos.nodes`` RNG stream;
 * **watcher crashes** that stop the directory observer and restart it
-  with a checkpoint-deduplicated replay.
+  with a checkpoint-deduplicated replay;
+* **data corruption** from the plan's
+  :class:`~repro.chaos.plan.DataCorruptionSpec`: a
+  :class:`~repro.chaos.corruption.ChunkCorruptor` on the stream
+  publisher, one bit-rot process per
+  :class:`~repro.chaos.plan.BitRotWindow`, and a metadata-mismatch
+  subscription on the acquisition filesystem — every hit recorded as a
+  ``chaos.corruption`` span so the integrity audit can join injections
+  to detections.
 
 Every injection appends to :attr:`injections` — a plain, ordered,
 seed-deterministic log that the determinism tests compare across runs.
@@ -28,8 +36,16 @@ import numpy as np
 from ..flows.action import ActionState
 from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import NULL_TRACER
+from .corruption import ChunkCorruptor
 from .gate import ServiceGate
-from .plan import ChaosPlan, LinkDegradation, OutageWindow, WatcherCrash
+from .plan import (
+    BitRotWindow,
+    ChaosPlan,
+    DataCorruptionSpec,
+    LinkDegradation,
+    OutageWindow,
+    WatcherCrash,
+)
 
 __all__ = ["ChaosController"]
 
@@ -62,6 +78,7 @@ class ChaosController:
         rngs: Any = None,
         observer: Any = None,
         stream: Any = None,
+        filesystems: Any = None,
         tracer: Any = None,
         metrics: Any = None,
     ) -> None:
@@ -76,6 +93,9 @@ class ChaosController:
         self.rngs = rngs
         self.observer = observer
         self.stream = stream
+        #: Name -> :class:`~repro.storage.VirtualFS`, the targets the
+        #: plan's bit-rot windows and metadata mismatches may hit.
+        self.filesystems: dict[str, Any] = dict(filesystems or {})
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
         self._lazy: dict[str, Any] = {}
@@ -103,6 +123,20 @@ class ChaosController:
 
     def _log(self, kind: str, **detail: Any) -> None:
         self.injections.append({"t": self.env.now, "kind": kind, **detail})
+
+    def record_corruption(self, kind: str, path: str, **detail: Any) -> None:
+        """One corruption injection: log it, count it, and emit the
+        ``chaos.corruption`` span the integrity audit joins against."""
+        self._log(kind, path=path, **detail)
+        self._counter("chaos.corruptions").inc()
+        span = self.tracer.start("chaos.corruption")
+        try:
+            span.set("kind", kind).set("path", path)
+            for key in ("fs", "session_id", "seq"):
+                if key in detail:
+                    span.set(key, detail[key])
+        finally:
+            span.finish()
 
     # -- arming ----------------------------------------------------------
     def install(self) -> None:
@@ -141,6 +175,21 @@ class ChaosController:
         for c in self.plan.watcher_crashes:
             if self.observer is not None:
                 self.env.process(self._watcher_process(c))
+        spec = self.plan.corruption
+        if spec is not None and spec.enabled and self.rngs is not None:
+            if self.stream is not None and spec.chunk_faults:
+                self.stream.corruptor = ChunkCorruptor(
+                    spec, self.rngs.stream("chaos.corruption"), self
+                )
+                self.stream.max_retransmits = spec.max_retransmits
+            for w in spec.bitrot:
+                fs = self.filesystems.get(w.fs)
+                if fs is not None:
+                    self.env.process(self._bitrot_window(w, fs))
+            if spec.meta_mismatch_prob > 0:
+                fs = self.filesystems.get(spec.meta_mismatch_fs)
+                if fs is not None:
+                    self._arm_meta_mismatch(spec, fs)
 
     # -- fault processes --------------------------------------------------
     def _outage_process(self, w: OutageWindow) -> Generator:
@@ -202,6 +251,54 @@ class ChaosController:
             span.set("replayed", replayed)
         finally:
             span.finish()
+
+    # -- data corruption ---------------------------------------------------
+    def _bitrot_window(self, w: BitRotWindow, fs: Any) -> Generator:
+        """Arm at-rest rot for files created on ``fs`` inside the window.
+
+        Each qualifying creation gets one seeded draw; hits rot
+        ``delay_s`` after creation (the file has usually been observed,
+        maybe even streamed, by then — the interesting case)."""
+        rng = self.rngs.stream("chaos.bitrot")
+        if w.start_s > self.env.now:
+            yield self.env.timeout(w.start_s - self.env.now)
+
+        def on_create(f: Any) -> None:
+            if f.kind != "emd":
+                return
+            if float(rng.uniform()) < w.prob:
+                self.env.process(self._rot_process(fs, f.path, w.delay_s))
+
+        unsubscribe = fs.subscribe(on_create)
+        self._log("bitrot_window_start", fs=fs.name, until=w.end_s)
+        try:
+            yield self.env.timeout(w.duration_s)
+        finally:
+            unsubscribe()
+            self._log("bitrot_window_end", fs=fs.name)
+
+    def _rot_process(self, fs: Any, path: str, delay_s: float) -> Generator:
+        if delay_s > 0:
+            yield self.env.timeout(delay_s)
+        if not fs.exists(path):
+            return  # consumed and gone before the rot landed
+        fs.corrupt(path, salt=f"bitrot:{path}")
+        self.record_corruption("bitrot", path, fs=fs.name)
+
+    def _arm_meta_mismatch(self, spec: DataCorruptionSpec, fs: Any) -> None:
+        """Corrupt-at-birth: with ``meta_mismatch_prob`` a freshly
+        created acquisition's payload never matched its declared
+        checksum.  Stays armed for the whole campaign."""
+        rng = self.rngs.stream("chaos.metadata")
+
+        def on_create(f: Any) -> None:
+            if f.kind != "emd" or f.payload is not None:
+                return
+            if float(rng.uniform()) < spec.meta_mismatch_prob:
+                fs.corrupt(f.path, salt=f"meta:{f.path}")
+                self.record_corruption("meta_mismatch", f.path, fs=fs.name)
+
+        fs.subscribe(on_create)
 
     # -- degraded-work catch-up ------------------------------------------
     def _drain_backlog(self, provider_name: str) -> Generator:

@@ -1,0 +1,64 @@
+"""In-flight chunk corruption: the streaming fast path's adversary.
+
+A :class:`ChunkCorruptor` is installed on the
+:class:`~repro.stream.StreamPublisher` by the
+:class:`~repro.chaos.ChaosController` when the plan's
+:class:`~repro.chaos.plan.DataCorruptionSpec` arms chunk faults.  The
+publisher consults it once per chunk send (including retransmits —
+the wire can mangle a retry too); a draw either passes the chunk
+through untouched or returns the fault to apply:
+
+* ``chunk_corrupt`` — the payload bytes are mangled in flight; the
+  wire digest no longer matches what the receiver derives from the
+  session's declared digest;
+* ``chunk_truncate`` — the stream is cut short; the chunk arrives
+  undersized (and mangled — a partial payload hashes differently).
+
+All draws come from the dedicated ``chaos.corruption`` RNG stream, so
+campaigns without corruption never touch it and stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .plan import DataCorruptionSpec
+
+__all__ = ["ChunkCorruptor"]
+
+
+class ChunkCorruptor:
+    """Per-chunk wire-fault draws, logged through the controller."""
+
+    def __init__(
+        self, spec: DataCorruptionSpec, rng: Any, controller: Any
+    ) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.controller = controller
+
+    def draw(
+        self, session: Any, seq: int, resend: int
+    ) -> Optional[tuple[str, float, str]]:
+        """One seeded draw for chunk ``seq`` (send attempt ``resend``).
+
+        Returns ``None`` (clean) or ``(kind, size_fraction, salt)``;
+        the salt makes each mangled digest unique per send attempt, so
+        a re-corrupted retransmit cannot collide with the original.
+        """
+        spec = self.spec
+        u = float(self.rng.random())
+        if u < spec.chunk_corrupt_prob:
+            kind, frac = "chunk_corrupt", 1.0
+        elif u < spec.chunk_corrupt_prob + spec.chunk_truncate_prob:
+            kind, frac = "chunk_truncate", float(self.rng.uniform(0.1, 0.9))
+        else:
+            return None
+        self.controller.record_corruption(
+            kind,
+            session.path,
+            session_id=session.session_id,
+            seq=seq,
+            resend=resend,
+        )
+        return kind, frac, f"{session.session_id}:{seq}:{resend}"

@@ -30,6 +30,8 @@ __all__ = [
     "LinkDegradation",
     "NodeFailureSpec",
     "WatcherCrash",
+    "BitRotWindow",
+    "DataCorruptionSpec",
     "ChaosPlan",
     "NO_CHAOS",
 ]
@@ -154,6 +156,100 @@ class WatcherCrash:
 
 
 @dataclass(frozen=True)
+class BitRotWindow:
+    """At-rest corruption: files *created* on filesystem ``fs`` during
+    ``[start_s, start_s + duration_s)`` rot with probability ``prob``,
+    ``delay_s`` seconds after creation.
+
+    The rot is silent — no subscriber is notified — so only a digest
+    verification downstream (transfer re-check, verify-on-read, the
+    end-of-campaign scrub) can observe it, exactly like real storage.
+    """
+
+    fs: str
+    start_s: float
+    duration_s: float
+    prob: float
+    delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ChaosError(f"bit-rot start must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ChaosError(
+                f"bit-rot duration must be positive, got {self.duration_s}"
+            )
+        if not 0.0 <= self.prob <= 1.0:
+            raise ChaosError(f"bit-rot prob must be in [0, 1], got {self.prob}")
+        if self.delay_s < 0:
+            raise ChaosError(f"bit-rot delay must be >= 0, got {self.delay_s}")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class DataCorruptionSpec:
+    """Seeded data-corruption faults, the integrity subsystem's adversary.
+
+    Three fault classes, all deterministic under the campaign seed:
+
+    * **in-flight chunk corruption/truncation** — each streamed chunk is
+      independently mangled on the wire with ``chunk_corrupt_prob`` or
+      cut short with ``chunk_truncate_prob`` (single partitioned draw,
+      like :class:`~repro.transfer.faults.FaultPlan`);
+    * **at-rest bit rot** — :class:`BitRotWindow` entries;
+    * **metadata–payload mismatch** — with ``meta_mismatch_prob`` a
+      freshly acquired file's payload never matched its declared
+      checksum in the first place.
+
+    Arming any of these requires the campaign's integrity ledger (the
+    campaign builder enforces it): corruption without verification
+    would be *silent*, which is the failure mode this subsystem exists
+    to rule out.
+    """
+
+    chunk_corrupt_prob: float = 0.0
+    chunk_truncate_prob: float = 0.0
+    bitrot: tuple[BitRotWindow, ...] = ()
+    meta_mismatch_prob: float = 0.0
+    meta_mismatch_fs: str = "picoprobe-user"
+    #: Per-sequence retransmit budget the publisher applies before
+    #: declaring a session unrepairable.
+    max_retransmits: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("chunk_corrupt_prob", "chunk_truncate_prob", "meta_mismatch_prob"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ChaosError(f"{name} must be a probability, got {v}")
+        total = self.chunk_corrupt_prob + self.chunk_truncate_prob
+        if total > 1.0:
+            raise ChaosError(
+                "chunk_corrupt_prob + chunk_truncate_prob must not exceed 1, "
+                f"got {total}"
+            )
+        if self.max_retransmits < 1:
+            raise ChaosError(
+                f"max_retransmits must be >= 1, got {self.max_retransmits}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.chunk_corrupt_prob > 0
+            or self.chunk_truncate_prob > 0
+            or self.bitrot
+            or self.meta_mismatch_prob > 0
+        )
+
+    @property
+    def chunk_faults(self) -> bool:
+        return self.chunk_corrupt_prob > 0 or self.chunk_truncate_prob > 0
+
+
+@dataclass(frozen=True)
 class ChaosPlan:
     """Everything that will go wrong in one campaign, declared up front.
 
@@ -170,6 +266,7 @@ class ChaosPlan:
     node_failures: Optional[NodeFailureSpec] = None
     watcher_crashes: tuple[WatcherCrash, ...] = ()
     transfer_faults: FaultPlan = NO_FAULTS
+    corruption: Optional[DataCorruptionSpec] = None
     connect_timeout_s: float = 15.0
     retry_policies: tuple[tuple[str, RetryPolicy], ...] = ()
 
@@ -209,6 +306,7 @@ class ChaosPlan:
             or self.watcher_crashes
             or (self.node_failures is not None and self.node_failures.prob > 0)
             or self.transfer_faults is not NO_FAULTS
+            or (self.corruption is not None and self.corruption.enabled)
             or self.retry_policies
         )
 

@@ -15,7 +15,9 @@ from ..flows.retry import RetryPolicy
 from ..transfer.faults import FaultPlan
 from ..units import hours, minutes
 from .plan import (
+    BitRotWindow,
     ChaosPlan,
+    DataCorruptionSpec,
     LinkDegradation,
     NodeFailureSpec,
     OutageWindow,
@@ -104,6 +106,30 @@ SCENARIOS: dict[str, ChaosPlan] = {
         connect_timeout_s=20.0,
         retry_policies=_RETRIES,
     ),
+    # Data goes bad everywhere it can: chunks mangled on the wire,
+    # at-rest rot on the acquisition store mid-campaign, acquisitions
+    # whose metadata never matched their payload, and the transfer
+    # layer's own per-attempt checksum faults.  The integrity ledger
+    # (auto-enabled) must repair or quarantine every one of them.
+    "corruption": ChaosPlan(
+        corruption=DataCorruptionSpec(
+            chunk_corrupt_prob=0.04,
+            chunk_truncate_prob=0.02,
+            bitrot=(
+                BitRotWindow(
+                    fs="picoprobe-user",
+                    start_s=minutes(5),
+                    duration_s=minutes(20),
+                    prob=0.25,
+                    delay_s=1.0,
+                ),
+            ),
+            meta_mismatch_prob=0.08,
+            max_retransmits=4,
+        ),
+        transfer_faults=FaultPlan(corrupt_prob=0.08, max_attempts=4),
+        retry_policies=_RETRIES,
+    ),
 }
 
 
@@ -124,6 +150,7 @@ def run_chaos_campaign(
     obs: bool = False,
     tiebreak: str = "fifo",
     trace: bool = False,
+    ingest: str = "file",
 ):
     """Run a campaign under ``plan`` and drain it to quiescence.
 
@@ -141,7 +168,7 @@ def run_chaos_campaign(
         plan = scenario(plan)
     result = run_campaign(
         use_case, duration_s=duration_s, seed=seed, chaos=plan, obs=obs,
-        tiebreak=tiebreak, trace=trace,
+        tiebreak=tiebreak, trace=trace, ingest=ingest,
     )
     env = result.testbed.env
     env.run()  # drain in-flight work past the campaign window

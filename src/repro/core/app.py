@@ -11,7 +11,7 @@ automation services."
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..errors import ComputeError
 from ..flows import FlowDefinition, FlowRun, GladierClient
@@ -33,10 +33,16 @@ class FlowTriggerApp:
         checkpoint: Optional[CheckpointStore] = None,
         dest_dir: str = "/picoprobe/data",
         visible_to: tuple[str, ...] = ("public",),
+        ledger: Any = None,
     ) -> None:
         self.testbed = testbed
         self.definition = definition
         self.function_id = function_id
+        #: Integrity hook: a duck-typed
+        #: :class:`~repro.integrity.IntegrityLedger`.  When set, each
+        #: acquisition opens a digest chain at trigger time, and a run
+        #: that ends with its chain open is quarantined.
+        self.ledger = ledger
         # Note: an empty store is falsy, so test for None explicitly.
         self.checkpoint = checkpoint if checkpoint is not None else CheckpointStore()
         self.dest_dir = dest_dir.rstrip("/")
@@ -68,6 +74,11 @@ class FlowTriggerApp:
         acquisition_id = (
             vf.metadata.acquisition_id if vf.metadata is not None else vf.checksum
         )
+        if self.ledger is not None:
+            self.ledger.begin(
+                vf.path, declared=vf.checksum, subject=acquisition_id,
+                at=self.testbed.env.now,
+            )
         run = self.testbed.gladier.run_flow(
             self.definition,
             {
@@ -90,6 +101,18 @@ class FlowTriggerApp:
 
     def _notify_on_complete(self, run: FlowRun):
         yield run.completed
+        if self.ledger is not None:
+            # Reconcile: a terminal run whose digest chain never closed
+            # (failed transfer, mismatched read, dead-lettered publish)
+            # is dead-lettered with its chain, never indexed.
+            path = run.input.get("source_path")
+            chain = self.ledger.chain(path) if path is not None else None
+            if chain is not None and not chain.closed:
+                self.ledger.quarantine(
+                    path,
+                    reason=run.error
+                    or f"flow run ended {run.status.value} with open chain",
+                )
         for cb in list(self.on_complete):
             cb(run)
 

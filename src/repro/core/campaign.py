@@ -72,6 +72,10 @@ class CampaignResult:
     observer: Optional[SimObserver] = None
     #: Which ingest path the campaign ran ("file" | "stream").
     ingest: str = "file"
+    #: The :class:`~repro.integrity.IntegrityLedger`, when the campaign
+    #: ran with end-to-end verification (always set under chaos
+    #: corruption); None otherwise.
+    ledger: Any = None
 
     @property
     def runs(self) -> list[FlowRun]:
@@ -128,6 +132,7 @@ def run_campaign(
     chaos: ChaosPlan = NO_CHAOS,
     trace: bool = False,
     ingest: str = "file",
+    integrity: Optional[bool] = None,
 ) -> CampaignResult:
     """Run one use case for ``duration_s`` simulated seconds.
 
@@ -162,6 +167,17 @@ def run_campaign(
     :class:`~repro.sim.trace.EventTraceRecorder` before the clock starts
     (find it at ``result.trace``) — the step-level event trace behind
     the golden-trace bit-identity suite.
+
+    ``integrity`` arms the end-to-end verification layer: an
+    :class:`~repro.integrity.IntegrityLedger` threaded through the data
+    plane (per-chunk stream digests with NAK/retransmit, transfer
+    source re-verification, verify-on-read before analysis, and the
+    digest-chain gate on search publication).  The default ``None``
+    enables it exactly when the chaos plan injects data corruption —
+    corruption without verification would be silent, so forcing
+    ``integrity=False`` under a corrupting plan raises ``ValueError``.
+    Clean campaigns default to ``integrity=None`` → off, keeping the
+    golden traces bit-identical.
     """
     from .extensions import (
         CompressionSpec,
@@ -181,6 +197,17 @@ def run_campaign(
 
         EventTraceRecorder(env)
     chaos_on = chaos.enabled
+    corruption_on = (
+        chaos_on and chaos.corruption is not None and chaos.corruption.enabled
+    )
+    if integrity is None:
+        integrity = corruption_on
+    if corruption_on and not integrity:
+        raise ValueError(
+            "the chaos plan injects data corruption; running it without "
+            "the integrity ledger (integrity=False) would make every "
+            "fault silent"
+        )
     if chaos_on and chaos.transfer_faults is not NO_FAULTS:
         fault_plan = chaos.transfer_faults
     tb = build_testbed(
@@ -191,6 +218,14 @@ def run_campaign(
         obs=Observability(env) if obs else None,
         retry_policies=chaos.policy_map() if chaos_on else None,
     )
+    ledger = None
+    if integrity:
+        from ..integrity import IntegrityLedger
+
+        ledger = IntegrityLedger(
+            env, tracer=tb.obs.tracer, metrics=tb.obs.metrics
+        )
+        tb.transfer.ledger = ledger
 
     if use_case.signal_type == "hyperspectral":
         fn, cost = analyze_virtual_hyperspectral, hyperspectral_cost_model(
@@ -206,6 +241,23 @@ def run_campaign(
         )
     else:
         raise ValueError(f"unknown signal type {use_case.signal_type!r}")
+    if ledger is not None and ingest == "file":
+        # Verify-on-read: the analysis re-checks the staged copy's
+        # payload against its declared checksum before computing, and
+        # attests the ``analyzed`` chain hop on success.  (Stream mode
+        # verifies per chunk on arrival instead — no staged copy.)
+        base_fn = fn
+
+        def verified_fn(file: dict) -> dict:
+            ledger.verify_read(tb.eagle_fs, file)
+            result = base_fn(file)
+            ledger.attest(
+                file["path"], "analyzed", digest=file["checksum"],
+                at=env.now, by="compute",
+            )
+            return result
+
+        fn = verified_fn
     function_id = tb.compute.register_function(fn, cost, name=f"{use_case.name}-analysis")
 
     definition: Optional[FlowDefinition] = None
@@ -240,7 +292,14 @@ def run_campaign(
             tracer=tb.obs.tracer,
             metrics=tb.obs.metrics,
         )
-        app = StreamIngestApp(tb, publisher, function_id, checkpoint=checkpoint)
+        if ledger is not None:
+            receiver.ledger = ledger
+            # Wire digests come from the payload as it is at send time,
+            # so at-rest rot mid-session surfaces on the wire.
+            publisher.source_fs = tb.user_fs
+        app = StreamIngestApp(
+            tb, publisher, function_id, checkpoint=checkpoint, ledger=ledger
+        )
         tb.flows.register_provider(StreamIngestActionProvider(app))
     else:
         if compression is not None:
@@ -254,7 +313,11 @@ def run_campaign(
             )
         else:
             definition = picoprobe_flow(tb.gladier, f"picoprobe-{use_case.name}")
-        app = FlowTriggerApp(tb, definition, function_id, checkpoint=checkpoint)
+        app = FlowTriggerApp(
+            tb, definition, function_id, checkpoint=checkpoint, ledger=ledger
+        )
+    if ledger is not None:
+        tb.flows.provider("search_ingest").ledger = ledger
     observer = SimObserver(tb.user_fs, prefix="/transfer")
     app.attach(observer)
 
@@ -272,6 +335,7 @@ def run_campaign(
             rngs=tb.rngs,
             observer=observer,
             stream=publisher,
+            filesystems={"picoprobe-user": tb.user_fs, "eagle": tb.eagle_fs},
             tracer=tb.obs.tracer,
             metrics=tb.obs.metrics,
         )
@@ -295,4 +359,5 @@ def run_campaign(
         chaos=controller,
         observer=observer,
         ingest=ingest,
+        ledger=ledger,
     )

@@ -32,6 +32,7 @@ __all__ = [
     "CalibrationError",
     "ChaosError",
     "StreamError",
+    "IntegrityError",
 ]
 
 
@@ -137,3 +138,10 @@ class CalibrationError(ReproError):
 
 class StreamError(ReproError):
     """Streaming-ingest failure (publisher/receiver protocol violation)."""
+
+
+class IntegrityError(ReproError):
+    """A payload failed digest verification against its declared
+    checksum — at rest (bit rot), in flight (chunk corruption), or on
+    read before analysis.  Raising it marks the consuming task FAILED;
+    the record is then quarantined rather than published."""

@@ -168,6 +168,11 @@ class SearchIngestActionProvider:
         self.service = service
         self.token = token
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Integrity hook: a duck-typed
+        #: :class:`~repro.integrity.IntegrityLedger`.  When set, every
+        #: ingest must present a closed digest chain for its subject;
+        #: an open chain quarantines the record instead of indexing it.
+        self.ledger: Any = None
         self._ids = itertools.count(1)
         self._actions: dict[str, dict] = {}
 
@@ -199,6 +204,14 @@ class SearchIngestActionProvider:
         if span is None:
             span = NULL_TRACER.start("search.ingest")
         try:
+            if self.ledger is not None:
+                ok, reason = self.ledger.check_publishable(body.get("subject"))
+                if not ok:
+                    record["status"] = "FAILED"
+                    record["error"] = f"IntegrityError: {reason}"
+                    record["completed_at"] = self.env.now
+                    span.set("status", "QUARANTINED")
+                    return
             try:
                 yield from self.service.ingest(
                     self.token,

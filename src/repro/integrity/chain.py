@@ -1,0 +1,107 @@
+"""Digest-chain attestation: provenance the search-publish step requires.
+
+Each record moving through the pipeline accumulates a chain of
+:class:`ChainLink` attestations — ``acquired`` at the instrument,
+``transferred`` (file mode) or ``streamed`` (stream mode) when the
+verified payload reaches the facility, and ``analyzed`` when the
+compute function has verified-read it.  A chain is **closed** when all
+three hops attested *the same digest* as the declared acquisition
+checksum; only closed chains may publish to search.  A record whose
+chain does not close is quarantined — dead-lettered with its chain —
+never silently indexed.
+
+This mirrors the federated-provenance requirement of Bicer et al.
+(PAPERS.md): every facility hop re-attests the payload it actually
+saw, so a mismatch pinpoints the hop that corrupted it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ChainLink", "DigestChain", "STAGES"]
+
+#: Attestation stages in pipeline order.  ``transferred`` and
+#: ``streamed`` are the two ingest modes' alternatives for hop two.
+STAGES = ("acquired", "transferred", "streamed", "analyzed")
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One hop's attestation: *I saw this digest at this time.*"""
+
+    stage: str
+    digest: str
+    at: float
+    by: str
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "digest": self.digest, "at": self.at, "by": self.by}
+
+
+@dataclass
+class DigestChain:
+    """The ordered attestations of one record, keyed by source path."""
+
+    path: str
+    subject: str
+    declared: str
+    links: list[ChainLink] = field(default_factory=list)
+
+    def attest(self, stage: str, digest: str, at: float, by: str) -> ChainLink:
+        if stage not in STAGES:
+            raise ValueError(f"unknown chain stage: {stage!r}")
+        link = ChainLink(stage=stage, digest=digest, at=at, by=by)
+        self.links.append(link)
+        return link
+
+    def digest_at(self, stage: str) -> Optional[str]:
+        """The digest attested at ``stage`` (the latest attestation
+        wins — a re-transfer after a fault re-attests the hop)."""
+        for link in reversed(self.links):
+            if link.stage == stage:
+                return link.digest
+        return None
+
+    @property
+    def stages(self) -> set[str]:
+        return {link.stage for link in self.links}
+
+    @property
+    def closed(self) -> bool:
+        """True iff acquisition, arrival (either mode), and analysis
+        all attested the declared digest."""
+        return self.why_open() is None
+
+    def why_open(self) -> Optional[str]:
+        """Human-readable reason the chain does not close, or ``None``."""
+        if self.digest_at("acquired") is None:
+            return "no acquisition attestation"
+        arrival = self.digest_at("transferred")
+        if arrival is None:
+            arrival = self.digest_at("streamed")
+        if arrival is None:
+            return "payload never attested at the facility (not transferred/streamed)"
+        analyzed = self.digest_at("analyzed")
+        if analyzed is None:
+            return "no verified-read attestation from analysis"
+        for stage, digest in (
+            ("acquired", self.digest_at("acquired")),
+            ("arrival", arrival),
+            ("analyzed", analyzed),
+        ):
+            if digest != self.declared:
+                return (
+                    f"{stage} digest {digest} does not match declared {self.declared}"
+                )
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "subject": self.subject,
+            "declared": self.declared,
+            "closed": self.closed,
+            "links": [link.to_dict() for link in self.links],
+        }

@@ -1,0 +1,42 @@
+"""Deterministic digest arithmetic for the byte-less data plane.
+
+The simulation never materialises file contents, so "the digest of the
+bytes" is modelled exactly the way :meth:`VirtualFile.content_checksum`
+models checksums: a short, deterministic hash of the *identity* of the
+content.  An intact payload's digest equals the declared checksum; any
+corruption replaces it with a :func:`mangle` of the original, which can
+never collide back to the declared value.  Verification anywhere in the
+pipeline is then a string comparison, and the per-chunk wire digests
+are derived from the payload digest plus the chunk coordinates so that
+a corrupted, truncated, or rotten source produces a chunk digest the
+receiver can reject against the session's declared digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["chunk_digest", "mangle"]
+
+
+def mangle(digest: str, salt: str = "") -> str:
+    """The digest of a corrupted payload: deterministic, salted, and
+    guaranteed to differ from ``digest`` itself."""
+    h = hashlib.sha256(f"rot:{digest}:{salt}".encode()).hexdigest()[:32]
+    if h == digest:  # pragma: no cover - 2^-128
+        h = h[1:] + h[0]
+    return h
+
+
+def chunk_digest(payload_digest: str, seq: int, nbytes: float) -> str:
+    """The wire digest of chunk ``seq`` of a payload.
+
+    The publisher computes it from the *actual* payload digest at send
+    time; the receiver recomputes it from the session's *declared*
+    digest and the expected chunk size.  The two match iff the payload
+    is intact, the chunk was not mangled in flight, and it arrived at
+    full size — one comparison detects bit rot, metadata mismatch,
+    wire corruption, and truncation uniformly.
+    """
+    h = hashlib.sha256(f"chunk:{payload_digest}:{seq}:{nbytes:.0f}".encode())
+    return h.hexdigest()[:16]

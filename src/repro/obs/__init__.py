@@ -25,11 +25,13 @@ from typing import Optional
 from ..sim import Environment
 from .analysis import (
     ACTION_SPAN_NAMES,
+    INTEGRITY_SPAN_NAMES,
     RunTrace,
     Segment,
     StepTrace,
     StreamSessionTrace,
     critical_path,
+    derive_integrity_events,
     derive_runs,
     derive_stream_sessions,
     fig4_samples_from_traces,
@@ -67,10 +69,12 @@ __all__ = [
     "NULL_METRICS",
     # analysis
     "ACTION_SPAN_NAMES",
+    "INTEGRITY_SPAN_NAMES",
     "RunTrace",
     "StepTrace",
     "Segment",
     "StreamSessionTrace",
+    "derive_integrity_events",
     "derive_runs",
     "derive_stream_sessions",
     "critical_path",

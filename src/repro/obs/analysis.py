@@ -31,6 +31,8 @@ __all__ = [
     "RunTrace",
     "Segment",
     "StreamSessionTrace",
+    "INTEGRITY_SPAN_NAMES",
+    "derive_integrity_events",
     "derive_runs",
     "derive_stream_sessions",
     "critical_path",
@@ -42,6 +44,15 @@ __all__ = [
 
 #: Span names that mark a service-side action (the "Active" interval).
 ACTION_SPAN_NAMES = frozenset({"transfer.task", "compute.task", "search.ingest"})
+
+#: Instantaneous span name -> the integrity-event category it records.
+INTEGRITY_SPAN_NAMES = {
+    "chaos.corruption": "injections",
+    "integrity.detect": "detections",
+    "integrity.repair": "repairs",
+    "integrity.quarantine": "quarantines",
+    "integrity.publish": "publishes",
+}
 
 
 @dataclass(frozen=True)
@@ -242,6 +253,27 @@ def fig4_samples_from_traces(
                 pass
         out["Active"].append(r.active_seconds)
         out["Overhead"].append(r.overhead_seconds)
+    return out
+
+
+def derive_integrity_events(spans: Sequence[Span]) -> dict[str, list[Span]]:
+    """Group the integrity-relevant instantaneous spans by category.
+
+    The raw material of the integrity audit: every corruption the chaos
+    layer *injected* (``chaos.corruption``), every verification failure
+    the data plane *detected* (``integrity.detect``), every
+    retransmit-driven *repair*, every dead-lettered *quarantine*, and
+    every publish *receipt* — in span-creation (= sim-time) order.
+    :func:`repro.integrity.audit_spans` joins these to prove zero
+    silent acceptances.
+    """
+    out: dict[str, list[Span]] = {
+        key: [] for key in INTEGRITY_SPAN_NAMES.values()
+    }
+    for span in spans:
+        key = INTEGRITY_SPAN_NAMES.get(span.name)
+        if key is not None and span.ended:
+            out[key].append(span)
     return out
 
 

@@ -16,6 +16,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from ..emd.schema import AcquisitionMetadata
 from ..errors import EndpointError
+from ..integrity.digest import mangle
 
 __all__ = ["VirtualFile", "VirtualFS"]
 
@@ -39,6 +40,22 @@ class VirtualFile:
     kind: str = "emd"  # "emd" | "plot" | "video" | "other"
     metadata: Optional[AcquisitionMetadata] = None
     extra: dict[str, Any] = field(default_factory=dict)
+    #: Digest of the bytes actually at rest.  ``None`` means the payload
+    #: matches :attr:`checksum` (the overwhelmingly common intact case —
+    #: kept out of the record so clean campaigns carry no extra state).
+    #: Bit rot and metadata mismatch set it to a mangled digest;
+    #: ``copy_in`` carries it, so corruption survives staging hops.
+    payload: Optional[str] = None
+
+    @property
+    def payload_digest(self) -> str:
+        """The digest of the bytes at rest (declared checksum if intact)."""
+        return self.checksum if self.payload is None else self.payload
+
+    @property
+    def intact(self) -> bool:
+        """Does the at-rest payload still match the declared checksum?"""
+        return self.payload is None or self.payload == self.checksum
 
     @staticmethod
     def content_checksum(seed: str, size_bytes: float) -> str:
@@ -98,6 +115,17 @@ class VirtualFS:
         for cb in list(self._subscribers):
             cb(f)
         return f
+
+    def corrupt(self, path: str, salt: str = "") -> VirtualFile:
+        """Silently diverge the at-rest payload from its declared
+        checksum (bit rot / metadata mismatch).  Deliberately does
+        **not** notify subscribers — rot is only observable by reading
+        the file and checking the digest, exactly like real storage."""
+        p = _norm(path)
+        f = self.stat(p)
+        rotten = replace(f, payload=mangle(f.payload_digest, salt))
+        self._files[p] = rotten
+        return rotten
 
     def delete(self, path: str) -> None:
         p = _norm(path)

@@ -44,10 +44,17 @@ class StreamIngestApp:
         max_attempts: int = 8,
         backoff_initial_s: float = 1.0,
         backoff_max_s: float = 30.0,
+        ledger: Any = None,
     ) -> None:
         self.testbed = testbed
         self.publisher = publisher
         self.function_id = function_id
+        #: Integrity hook: a duck-typed
+        #: :class:`~repro.integrity.IntegrityLedger`.  When set,
+        #: sessions stream with per-chunk verification, attest the
+        #: ``streamed``/``analyzed`` chain hops, and pass the publish
+        #: gate — an open chain quarantines the record instead.
+        self.ledger = ledger
         # Note: an empty store is falsy, so test for None explicitly.
         self.checkpoint = checkpoint if checkpoint is not None else CheckpointStore()
         self.dest_dir = dest_dir.rstrip("/")
@@ -83,7 +90,20 @@ class StreamIngestApp:
         if self.checkpoint.is_processed(vf.path, vf.checksum):
             self.skipped += 1
             return None
-        session = self.publisher.start(vf.path, vf.size_bytes, virtual=vf)
+        if self.ledger is not None:
+            subject = (
+                vf.metadata.acquisition_id if vf.metadata is not None else vf.checksum
+            )
+            self.ledger.begin(
+                vf.path, declared=vf.checksum, subject=subject,
+                at=self.testbed.env.now,
+            )
+        session = self.publisher.start(
+            vf.path,
+            vf.size_bytes,
+            virtual=vf,
+            digest=vf.checksum if self.ledger is not None else None,
+        )
         self.checkpoint.mark_processed(vf.path, vf.checksum)
         self.sessions.append(session)
         self._by_id[session.session_id] = session
@@ -128,7 +148,14 @@ class StreamIngestApp:
         )
         try:
             # 1. Partial data landed: kick off the analysis in flight.
-            yield session.threshold
+            # A verifying session can instead die early: an unrepairable
+            # chunk (source rot, metadata mismatch) fires ``failed``.
+            if session.failed is None:
+                yield session.threshold
+            else:
+                yield env.any_of([session.threshold, session.failed])
+                if not session.threshold.triggered:
+                    return  # quarantined in the finally block
             dest_path = f"{self.dest_dir}/{os.path.basename(vf.path)}"
             descriptor = file_descriptor(vf, dest_path)
             analyze_span = tb.obs.tracer.start("stream.analyze", span)
@@ -144,11 +171,28 @@ class StreamIngestApp:
                 )
                 session.analysis_started_at = env.now
                 # Publication needs the full acquisition on the node and
-                # the analysis output — wait for both.
-                yield env.all_of([tb.compute.wait(task_id), session.delivered])
+                # the analysis output — wait for both (or the session's
+                # unrepairable-chunk failure, which preempts them).
+                ready = env.all_of([tb.compute.wait(task_id), session.delivered])
+                if session.failed is None:
+                    yield ready
+                else:
+                    yield env.any_of([ready, session.failed])
+                    if not session.delivered.triggered:
+                        return  # quarantined in the finally block
                 session.analysis_done_at = env.now
             finally:
                 analyze_span.finish()
+            if self.ledger is not None:
+                # Every chunk verified against the declared digest on
+                # arrival — attest the facility hop.
+                self.ledger.attest(
+                    vf.path,
+                    "streamed",
+                    digest=session.declared_digest,
+                    at=env.now,
+                    by="receiver",
+                )
             task = tb.compute.task_record(task_id)
             if task.status is not ComputeTaskStatus.SUCCESS:
                 session.status = "FAILED"
@@ -157,11 +201,26 @@ class StreamIngestApp:
                 )
                 return
             content = task.outcome.result
+            if self.ledger is not None:
+                self.ledger.attest(
+                    vf.path,
+                    "analyzed",
+                    digest=session.declared_digest,
+                    at=env.now,
+                    by="compute",
+                )
 
-            # 2. Publish straight to the portal index.
+            # 2. Publish straight to the portal index — gated on the
+            # digest chain closing.
             subject = (
                 vf.metadata.acquisition_id if vf.metadata is not None else vf.checksum
             )
+            if self.ledger is not None:
+                ok, reason = self.ledger.check_publishable(subject)
+                if not ok:
+                    session.status = "QUARANTINED"
+                    session.error = f"IntegrityError: {reason}"
+                    return
             publish_span = tb.obs.tracer.start("stream.publish", span)
             try:
                 yield from self._publish_with_retries(session, subject, content)
@@ -173,9 +232,28 @@ class StreamIngestApp:
             session.status = "FAILED"
             session.error = f"{type(exc).__name__}: {exc}"
         finally:
-            span.set("status", session.status).set(
-                "renegotiations", session.renegotiations
-            ).set("duplicates", session.duplicates).finish()
+            try:
+                if self.ledger is not None and session.status != "PUBLISHED":
+                    # Dead-letter any record whose chain did not close —
+                    # whatever the failure path, it must never be indexed.
+                    chain = self.ledger.chain(vf.path)
+                    if chain is not None and not chain.closed:
+                        self.ledger.quarantine(
+                            vf.path,
+                            reason=session.error
+                            or f"stream session ended {session.status} "
+                            "with open chain",
+                        )
+                        session.status = "QUARANTINED"
+                if self.ledger is not None:
+                    span.set("naks", session.naks).set(
+                        "retransmits", session.retransmits
+                    )
+                span.set("status", session.status).set(
+                    "renegotiations", session.renegotiations
+                ).set("duplicates", session.duplicates)
+            finally:
+                span.finish()
             session.done.succeed(session)
             for cb in list(self.on_complete):
                 cb(session)

@@ -64,7 +64,7 @@ class StreamIngestActionProvider:
         active = (
             (session.published_at or self.app.testbed.env.now) - session.created_at
         )
-        if session.status == "FAILED":
+        if session.status in ("FAILED", "QUARANTINED"):
             return ActionStatus(
                 state=ActionState.FAILED,
                 error=session.error or "stream ingest failed",

@@ -26,7 +26,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Generator, Optional
 
-from ..errors import ServiceUnavailable
+from ..errors import EndpointError, ServiceUnavailable
+from ..integrity.digest import chunk_digest, mangle
 from ..net import NetworkFabric
 from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import NULL_TRACER
@@ -83,6 +84,7 @@ class StreamPublisher:
         backoff_max_s: float = 30.0,
         abort_poll_s: float = 0.05,
         efficiency: float = 1.0,
+        max_retransmits: int = 4,
         tracer: Any = None,
         metrics: Any = None,
     ) -> None:
@@ -101,9 +103,19 @@ class StreamPublisher:
         self.backoff_max_s = float(backoff_max_s)
         self.abort_poll_s = float(abort_poll_s)
         self.efficiency = float(efficiency)
+        #: NAK'd retransmits allowed per sequence number before the
+        #: session is declared unrepairable and fails.
+        self.max_retransmits = int(max_retransmits)
         #: Chaos hook: a duck-typed outage gate (see
         #: :class:`repro.chaos.ServiceGate`).  ``None`` means always up.
         self.gate: Any = None
+        #: Chaos hook: a duck-typed chunk corruptor (see
+        #: :class:`repro.chaos.ChunkCorruptor`) mangling wire digests.
+        self.corruptor: Any = None
+        #: Integrity hook: the source filesystem, so wire digests are
+        #: computed from the payload *as it is at send time* — at-rest
+        #: rot mid-session surfaces as chunk digest mismatches.
+        self.source_fs: Any = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         m = metrics if metrics is not None else NULL_METRICS
         self._metrics = m
@@ -111,6 +123,7 @@ class StreamPublisher:
         self._m_chunks = m.counter("stream.chunks_sent")
         self._m_bytes = m.counter("stream.bytes_sent")
         self._m_renegotiations: Any = None  # lazy; chaos-path only
+        self._m_retransmits: Any = None  # lazy; corruption-path only
         self._ids = itertools.count(1)
         self.sessions: list[StreamSession] = []
 
@@ -121,6 +134,7 @@ class StreamPublisher:
         nbytes: float,
         virtual: Any = None,
         parent_span: Any = None,
+        digest: Optional[str] = None,
     ) -> StreamSession:
         """Open a session for one acquisition and start streaming it.
 
@@ -128,7 +142,8 @@ class StreamPublisher:
         runs as a DES process.  A control-plane outage never fails the
         open — the delivery process retries its handshake through the
         gate with backoff, so sessions opened mid-outage simply start
-        late.
+        late.  Passing the acquisition's declared ``digest`` arms
+        per-chunk verification (and the NAK/retransmit machinery).
         """
         sizes = chunk_sizes(nbytes, self.chunk_bytes)
         session = StreamSession(
@@ -143,6 +158,8 @@ class StreamPublisher:
             delivered=self.env.event(),
             done=self.env.event(),
             virtual=virtual,
+            declared_digest=digest,
+            failed=self.env.event() if digest is not None else None,
         )
         self.sessions.append(session)
         self._m_sessions.inc()
@@ -151,6 +168,37 @@ class StreamPublisher:
         return session
 
     # -- internals ---------------------------------------------------------
+    def _source_digest(self, session: StreamSession) -> str:
+        """The payload digest at send time (declared digest when no
+        source filesystem is wired — unit/bench sessions)."""
+        if self.source_fs is not None:
+            try:
+                return self.source_fs.stat(session.path).payload_digest
+            except EndpointError:
+                pass  # source vanished mid-session; keep the snapshot
+        v = session.virtual
+        if v is not None:
+            return getattr(v, "payload_digest", session.declared_digest)
+        return session.declared_digest
+
+    def _wire_chunk(self, session: StreamSession, seq: int, nbytes: float, resend: int) -> FrameChunk:
+        """Build the chunk as it goes on the wire, digest included —
+        and, when a chaos corruptor is armed, as mangled by it."""
+        digest = None
+        wire_nbytes = nbytes
+        if session.declared_digest is not None:
+            digest = chunk_digest(self._source_digest(session), seq, nbytes)
+            if self.corruptor is not None:
+                fault = self.corruptor.draw(session, seq, resend)
+                if fault is not None:
+                    kind, frac, salt = fault
+                    if kind == "chunk_truncate":
+                        wire_nbytes = max(1.0, nbytes * frac)
+                    digest = mangle(digest, salt)
+        return FrameChunk(
+            seq=seq, nbytes=wire_nbytes, sent_at=self.env.now, digest=digest
+        )
+
     def _handshake_jitter(self) -> float:
         rng = self.rngs.stream("stream.handshake")
         return lognormal_from_median(rng, self.handshake_s, self.handshake_sigma)
@@ -178,6 +226,7 @@ class StreamPublisher:
 
     def _run(self, session: StreamSession, sizes: "list[float]", parent_span: Any):
         receiver = self.receiver
+        retries: dict[int, int] = {}
         span = (
             self.tracer.start("stream.deliver", parent_span)
             .set("session_id", session.session_id)
@@ -189,8 +238,8 @@ class StreamPublisher:
             seq = 0
             while seq < session.total_chunks:
                 yield receiver.credit(session)
-                chunk = FrameChunk(
-                    seq=seq, nbytes=sizes[seq], sent_at=self.env.now
+                chunk = self._wire_chunk(
+                    session, seq, sizes[seq], retries.get(seq, 0)
                 )
                 if session.first_sent_at is None:
                     session.first_sent_at = self.env.now
@@ -205,33 +254,57 @@ class StreamPublisher:
                 if done.triggered:
                     if not timer.processed:
                         self.env.cancel(timer)
-                    receiver.arrived(session, chunk)
-                    seq = max(seq + 1, receiver.ack(session))
+                else:
+                    # Delivery timeout: withdraw the stalled stream.  A
+                    # stream still inside its admission-latency window is
+                    # not yet withdrawable — poll briefly; if the chunk
+                    # lands meanwhile, count it delivered instead.
+                    withdrawn = False
+                    while not done.triggered:
+                        if self.fabric.abort(done):
+                            withdrawn = True
+                            break
+                        yield self.env.timeout(self.abort_poll_s)
+                    if withdrawn:
+                        receiver.refund(session)
+                        session.renegotiations += 1
+                        if self._m_renegotiations is None:
+                            self._m_renegotiations = self._metrics.counter(
+                                "stream.renegotiations"
+                            )
+                        self._m_renegotiations.inc()
+                        yield from self._handshake(session)
+                        # Resume from the receiver's acknowledged gap
+                        # pointer.
+                        seq = receiver.ack(session)
+                        continue
+                verdict = receiver.arrived(session, chunk)
+                if verdict == "nak":
+                    # Selective retransmit: re-send this sequence only
+                    # (the credit came back with the NAK), up to the
+                    # per-sequence cap.  A source whose payload itself
+                    # no longer verifies can never produce a clean
+                    # chunk — the session is unrepairable.
+                    naks = retries.get(seq, 0) + 1
+                    retries[seq] = naks
+                    if naks > self.max_retransmits:
+                        session.status = "FAILED"
+                        session.error = (
+                            f"integrity: chunk {seq} failed verification "
+                            f"after {self.max_retransmits} retransmits"
+                        )
+                        span.set("status", "FAILED").set("failed_seq", seq)
+                        if session.failed is not None:
+                            session.failed.succeed(session)
+                        return
+                    session.retransmits += 1
+                    if self._m_retransmits is None:
+                        self._m_retransmits = self._metrics.counter(
+                            "stream.retransmits"
+                        )
+                    self._m_retransmits.inc()
                     continue
-                # Delivery timeout: withdraw the stalled stream.  A
-                # stream still inside its admission-latency window is
-                # not yet withdrawable — poll briefly; if the chunk
-                # lands meanwhile, count it delivered instead.
-                withdrawn = False
-                while not done.triggered:
-                    if self.fabric.abort(done):
-                        withdrawn = True
-                        break
-                    yield self.env.timeout(self.abort_poll_s)
-                if not withdrawn:
-                    receiver.arrived(session, chunk)
-                    seq = max(seq + 1, receiver.ack(session))
-                    continue
-                receiver.refund(session)
-                session.renegotiations += 1
-                if self._m_renegotiations is None:
-                    self._m_renegotiations = self._metrics.counter(
-                        "stream.renegotiations"
-                    )
-                self._m_renegotiations.inc()
-                yield from self._handshake(session)
-                # Resume from the receiver's acknowledged gap pointer.
-                seq = receiver.ack(session)
+                seq = max(seq + 1, receiver.ack(session))
             span.set("renegotiations", session.renegotiations)
             yield session.delivered
         finally:

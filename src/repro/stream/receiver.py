@@ -23,10 +23,11 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..errors import StreamError
+from ..integrity.digest import chunk_digest
 from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import NULL_TRACER
 from ..sim import Environment, Store
-from .session import FrameChunk, StreamSession
+from .session import FrameChunk, StreamSession, chunk_sizes
 
 __all__ = ["StreamReceiver"]
 
@@ -45,6 +46,10 @@ class _RxState:
     drained: int = 0
     #: High-water mark of chunks in flight (sent, not yet drained).
     max_in_flight: int = 0
+    #: Expected chunk sizes, precomputed when the session verifies.
+    sizes: Optional[list[float]] = None
+    #: Sequence numbers NAK'd and awaiting a clean retransmit.
+    nak_seqs: set[int] = field(default_factory=set)
 
 
 class StreamReceiver:
@@ -78,6 +83,12 @@ class StreamReceiver:
         self._m_chunks = m.counter("stream.chunks_delivered")
         self._m_bytes = m.counter("stream.bytes_delivered")
         self._m_duplicates: Any = None  # lazy; clean runs never see one
+        self._m_naks: Any = None  # lazy; corruption-path only
+        self._m_gaps: Any = None  # lazy; corruption-path only
+        #: Integrity hook: a duck-typed
+        #: :class:`~repro.integrity.IntegrityLedger` receiving
+        #: detect/repair events for NAK'd chunks.  ``None`` disables.
+        self.ledger: Any = None
         self._states: dict[str, _RxState] = {}
 
     # -- session lifecycle -------------------------------------------------
@@ -91,6 +102,8 @@ class StreamReceiver:
         for _ in range(window):
             credits.put(1)
         state = _RxState(credits=credits, arrivals=Store(self.env))
+        if session.declared_digest is not None:
+            state.sizes = chunk_sizes(session.total_bytes, session.chunk_bytes)
         self._states[session.session_id] = state
         self.env.process(self._drain(session, state))
 
@@ -123,11 +136,14 @@ class StreamReceiver:
         state = self._state(session)
         return int(state.credits.capacity) - len(state.credits.items)
 
-    def arrived(self, session: StreamSession, chunk: FrameChunk) -> None:
-        """A chunk's fabric stream completed: accept or deduplicate.
+    def arrived(self, session: StreamSession, chunk: FrameChunk) -> str:
+        """A chunk's fabric stream completed: verify, accept, or reject.
 
-        Accepted chunks queue for the drain process in sequence order;
-        already-accepted sequence numbers refund their credit at once.
+        Returns a verdict the publisher acts on: ``"accepted"``,
+        ``"duplicate"`` (already-accepted sequence number — refund the
+        credit at once), or ``"nak"`` (the wire digest or size failed
+        verification against the session's declared digest — the credit
+        is refunded and the publisher must retransmit that sequence).
         """
         state = self._state(session)
         window_used = self.in_flight(session)
@@ -139,9 +155,49 @@ class StreamReceiver:
                 self._m_duplicates = self._metrics.counter("stream.duplicates")
             self._m_duplicates.inc()
             state.credits.put(1)
-            return
+            return "duplicate"
+        if session.declared_digest is not None and state.sizes is not None:
+            expected_nbytes = state.sizes[chunk.seq]
+            expected = chunk_digest(
+                session.declared_digest, chunk.seq, expected_nbytes
+            )
+            if chunk.nbytes != expected_nbytes or chunk.digest != expected:
+                kind = (
+                    "truncated" if chunk.nbytes != expected_nbytes else "corrupt"
+                )
+                session.naks += 1
+                state.nak_seqs.add(chunk.seq)
+                if self._m_naks is None:
+                    self._m_naks = self._metrics.counter("stream.naks")
+                self._m_naks.inc()
+                if self.ledger is not None:
+                    self.ledger.detect(
+                        "stream",
+                        kind,
+                        path=session.path,
+                        seq=chunk.seq,
+                        session_id=session.session_id,
+                    )
+                state.credits.put(1)
+                return "nak"
+            if chunk.seq in state.nak_seqs:
+                # A previously NAK'd sequence verified on retransmit.
+                state.nak_seqs.discard(chunk.seq)
+                if self.ledger is not None:
+                    self.ledger.repair(
+                        "stream",
+                        "retransmit",
+                        path=session.path,
+                        seq=chunk.seq,
+                        session_id=session.session_id,
+                    )
         if session.first_chunk_at is None:
             session.first_chunk_at = self.env.now
+        if chunk.seq > state.next_seq:
+            session.gaps += 1
+            if self._m_gaps is None:
+                self._m_gaps = self._metrics.counter("stream.gaps")
+            self._m_gaps.inc()
         state.pending[chunk.seq] = chunk
         # Release the contiguous run into the drain queue.  The walk is
         # counter-driven (not an iteration over the mutating dict), so
@@ -149,6 +205,7 @@ class StreamReceiver:
         while state.next_seq in state.pending:
             state.arrivals.put(state.pending.pop(state.next_seq))
             state.next_seq += 1
+        return "accepted"
 
     # -- node-side drain ---------------------------------------------------
     def _drain(self, session: StreamSession, state: _RxState):

@@ -32,6 +32,9 @@ class FrameChunk:
     nbytes: float
     #: Simulated time the publisher put this chunk on the fabric.
     sent_at: float
+    #: Wire digest computed by the publisher at send time (``None``
+    #: when the session streams without integrity verification).
+    digest: Optional[str] = None
 
 
 def chunk_sizes(total_bytes: float, chunk_bytes: float) -> list[float]:
@@ -53,13 +56,19 @@ class StreamSession:
     """One acquisition in flight from detector to compute.
 
     Lifecycle: ``STREAMING`` → ``DELIVERED`` (all chunks contiguously
-    received) → ``PUBLISHED`` (analysis output ingested into search) or
-    ``FAILED``.  The DES events fire exactly once each:
+    received) → ``PUBLISHED`` (analysis output ingested into search),
+    ``FAILED``, or ``QUARANTINED`` (the digest chain did not close —
+    the record was dead-lettered, never indexed).  The DES events fire
+    exactly once each:
 
     * :attr:`threshold` — the first ``threshold_chunks`` chunks landed
       in order; in-flight analysis may start on this partial data;
     * :attr:`delivered` — every chunk landed;
-    * :attr:`done` — terminal (``PUBLISHED`` or ``FAILED``).
+    * :attr:`done` — terminal (``PUBLISHED``/``FAILED``/``QUARANTINED``).
+
+    Sessions with a :attr:`declared_digest` verify every chunk on
+    arrival; :attr:`failed` (created only for those) fires when the
+    publisher gives up on an unrepairable chunk.
     """
 
     session_id: str
@@ -75,6 +84,12 @@ class StreamSession:
     #: The source :class:`~repro.storage.VirtualFile`, when streaming
     #: out of a virtual filesystem (campaign mode).
     virtual: Any = None
+    #: The acquisition's declared checksum; enables per-chunk digest
+    #: verification when set.
+    declared_digest: Optional[str] = None
+    #: Fires when the publisher exhausts retransmits on a chunk that
+    #: never verifies (``None`` unless verification is enabled).
+    failed: Optional[Event] = None
     status: str = "STREAMING"
     error: Optional[str] = None
 
@@ -94,6 +109,12 @@ class StreamSession:
     #: Gap renegotiations after chunk-delivery timeouts.
     renegotiations: int = 0
     chunks_sent: int = 0
+    #: Chunks the receiver rejected on digest/size verification.
+    naks: int = 0
+    #: Out-of-order arrivals (a sequence gap was open when they landed).
+    gaps: int = 0
+    #: Chunks the publisher re-sent in response to a NAK.
+    retransmits: int = 0
 
     @property
     def detection_to_analysis_s(self) -> Optional[float]:
@@ -111,4 +132,4 @@ class StreamSession:
 
     @property
     def terminal(self) -> bool:
-        return self.status in ("PUBLISHED", "FAILED")
+        return self.status in ("PUBLISHED", "FAILED", "QUARANTINED")

@@ -35,6 +35,15 @@ class FaultPlan:
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise TransferError(f"{name} must be a probability, got {v}")
+        total = self.transient_prob + self.corrupt_prob
+        if total > 1.0:
+            # The single-uniform draw partitions [0, 1); a sum above 1
+            # would silently truncate the corrupt region rather than
+            # model what the caller asked for.
+            raise TransferError(
+                "transient_prob + corrupt_prob must not exceed 1, got "
+                f"{self.transient_prob} + {self.corrupt_prob} = {total}"
+            )
         if self.max_attempts < 1:
             raise TransferError("max_attempts must be >= 1")
 

@@ -82,6 +82,12 @@ class TransferService:
         #: Chaos hook: a duck-typed outage gate (see
         #: :class:`repro.chaos.ServiceGate`).  ``None`` means always up.
         self.gate: Any = None
+        #: Integrity hook: a duck-typed
+        #: :class:`~repro.integrity.IntegrityLedger`.  When set, every
+        #: successful transfer re-verifies the at-rest payload digest
+        #: (failing fast on bit rot — the recomputed checksum can never
+        #: match) and attests the ``transferred`` chain hop.
+        self.ledger: Any = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         m = metrics if metrics is not None else NULL_METRICS
         self._m_submitted = m.counter("transfer.tasks_submitted")
@@ -204,6 +210,8 @@ class TransferService:
     ) -> Generator:
         if span is None:
             span = NULL_TRACER.start("transfer.task")
+        if self.ledger is not None:
+            span.set("path", task.source_path)
         rng = self.rngs.stream("transfer.faults")
         # Submission processing in the cloud service.
         yield self.env.timeout(self._jitter(self.api_latency_s))
@@ -277,8 +285,56 @@ class TransferService:
                             f"checksum mismatch on attempt {task.attempts}"
                         )
                         attempt_span.set("outcome", "corrupt")
+                        if self.ledger is not None:
+                            self.ledger.detect(
+                                "file", "wire", path=task.source_path
+                            )
                     else:
+                        if self.ledger is not None:
+                            # Re-read the source record: at-rest rot may
+                            # have landed since submission or a retry.
+                            try:
+                                source_file = src.vfs.stat(task.source_path)
+                            except EndpointError:
+                                pass  # keep the submission-time snapshot
+                            if not source_file.intact:
+                                # The recomputed checksum can never match
+                                # the declared one — retrying is pointless.
+                                task.faults.append(
+                                    f"at-rest digest mismatch on attempt "
+                                    f"{task.attempts}"
+                                )
+                                task.status = TaskStatus.FAILED
+                                task.completed_at = self.env.now
+                                task.error = (
+                                    "integrity: source payload digest "
+                                    f"{source_file.payload_digest} does not "
+                                    f"match declared {source_file.checksum}"
+                                )
+                                attempt_span.set("outcome", "integrity")
+                                span.set("status", "FAILED").set(
+                                    "attempts", task.attempts
+                                ).finish()
+                                self.ledger.detect(
+                                    "file", "at_rest", path=task.source_path
+                                )
+                                self._m_failed.inc()
+                                self._m_duration.observe(task.duration)
+                                self._task_events[task.task_id].succeed(task)
+                                return
                         dst.vfs.copy_in(source_file, task.dest_path, now=self.env.now)
+                        if self.ledger is not None:
+                            if any("checksum mismatch" in f for f in task.faults):
+                                self.ledger.repair(
+                                    "file", "wire", path=task.source_path
+                                )
+                            self.ledger.attest(
+                                task.source_path,
+                                "transferred",
+                                digest=source_file.payload_digest,
+                                at=self.env.now,
+                                by="transfer",
+                            )
                         task.status = TaskStatus.SUCCEEDED
                         task.completed_at = self.env.now
                         attempt_span.set("outcome", "succeeded")

@@ -10,6 +10,13 @@ day."
 flow, keyed by path + checksum (so a *re-acquired* file with new content
 does trigger again).  With a ``path`` it persists as JSON and survives
 restarts; without one it is in-memory (simulation use).
+
+A corrupt or malformed store never aborts the restart: the bad file is
+quarantined next to itself (renamed to ``<path>.corrupt``), the watcher
+continues with an empty store, and a warning metric is emitted.  The
+cost is bounded — at worst already-processed files trigger once more,
+and downstream dedup absorbs that — whereas refusing to start would
+stall the whole instrument after a crash.
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Optional
+from typing import Any, Optional
 
 from ..errors import CheckpointError
+from ..obs.metrics import NULL_METRICS
 
 __all__ = ["CheckpointStore"]
 
@@ -27,8 +35,16 @@ __all__ = ["CheckpointStore"]
 class CheckpointStore:
     """Persistent (or in-memory) set of already-processed files."""
 
-    def __init__(self, path: "str | os.PathLike | None" = None) -> None:
+    def __init__(
+        self,
+        path: "str | os.PathLike | None" = None,
+        metrics: Any = None,
+    ) -> None:
         self.path = os.fspath(path) if path is not None else None
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        #: Where a corrupt store was moved on load, if that happened.
+        self.quarantined_path: Optional[str] = None
+        self.quarantine_reason: Optional[str] = None
         self._seen: dict[str, str] = {}  # file path -> checksum
         if self.path is not None and os.path.exists(self.path):
             self._load()
@@ -38,13 +54,32 @@ class CheckpointStore:
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
                 doc = json.load(fh)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"corrupt checkpoint file {self.path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            self._quarantine(f"corrupt checkpoint file {self.path}: {exc}")
+            return
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
         if not isinstance(doc, dict) or not all(
             isinstance(k, str) and isinstance(v, str) for k, v in doc.items()
         ):
-            raise CheckpointError(f"malformed checkpoint file {self.path}")
+            self._quarantine(f"malformed checkpoint file {self.path}")
+            return
         self._seen = doc
+
+    def _quarantine(self, reason: str) -> None:
+        """Move the unreadable store aside and continue empty."""
+        assert self.path is not None
+        quarantined = f"{self.path}.corrupt"
+        try:
+            os.replace(self.path, quarantined)
+        except OSError:
+            # Can't even move it aside; keep going with the empty store —
+            # the next flush overwrites the bad file atomically.
+            quarantined = None
+        self.quarantined_path = quarantined
+        self.quarantine_reason = reason
+        self._seen = {}
+        self._metrics.counter("watcher.checkpoint_quarantined").inc()
 
     def _flush(self) -> None:
         if self.path is None:

@@ -142,6 +142,123 @@ def test_blackout_renegotiation_delivers_exactly_once():
     # exactly once: the drain saw each of the 10 frames a single time
     assert metrics.counter("stream.chunks_delivered").value == 10
     assert metrics.counter("stream.renegotiations").value == session.renegotiations
+    # receiver bookkeeping surfaces as obs metrics: renegotiation may
+    # re-deliver frames (counted, refunded, never drained twice), but an
+    # unverified clean wire produces no NAKs and no reorder gaps
+    assert metrics.counter("stream.duplicates").value == session.duplicates
+    assert metrics.counter("stream.naks").value == 0
+    assert metrics.counter("stream.gaps").value == 0
+    assert session.naks == 0 and session.gaps == 0
+
+
+# -- chunk verification: NAK + selective retransmit --------------------------
+
+
+class _ScriptedCorruptor:
+    """Duck-typed chaos corruptor mangling scripted (seq, resend) pairs."""
+
+    def __init__(self, faults):
+        self.faults = dict(faults)  # (seq, resend) -> (kind, frac)
+
+    def draw(self, session, seq, resend):
+        fault = self.faults.get((seq, resend))
+        if fault is None:
+            return None
+        kind, frac = fault
+        return kind, frac, f"{session.session_id}:{seq}:{resend}"
+
+
+class _RecordingLedger:
+    """Duck-typed IntegrityLedger capturing detect/repair events."""
+
+    def __init__(self):
+        self.detects = []
+        self.repairs = []
+
+    def detect(self, mode, kind, path, seq=None, session_id=None):
+        self.detects.append((mode, kind, seq))
+
+    def repair(self, mode, kind, path, seq=None, session_id=None):
+        self.repairs.append((mode, kind, seq))
+
+
+def test_corrupt_chunk_nak_selective_retransmit():
+    """A corrupt and a truncated chunk are each NAK'd once, re-sent
+    selectively (only the bad sequence), repaired on the clean resend,
+    and the stream still delivers every frame exactly once."""
+    env, fabric = _fabric_world()
+    metrics = MetricsRegistry(env)
+    ledger = _RecordingLedger()
+    receiver = StreamReceiver(env, host="node", metrics=metrics)
+    receiver.ledger = ledger
+    publisher = StreamPublisher(
+        env, fabric, receiver, src_host="inst",
+        chunk_bytes=MB(8), metrics=metrics,
+    )
+    publisher.corruptor = _ScriptedCorruptor({
+        (3, 0): ("chunk_corrupt", 1.0),
+        (5, 0): ("chunk_truncate", 0.5),
+    })
+    session = publisher.start("/acq.emd", MB(8) * 10, digest="d" * 32)
+    env.run()
+    assert session.status == "DELIVERED"
+    assert session.naks == 2 and session.retransmits == 2
+    assert session.failed is not None and not session.failed.triggered
+    state = receiver._states[session.session_id]
+    assert state.drained == 10 and not state.nak_seqs
+    assert metrics.counter("stream.naks").value == 2
+    assert metrics.counter("stream.retransmits").value == 2
+    # exactly once despite the resends
+    assert metrics.counter("stream.chunks_delivered").value == 10
+    assert metrics.counter("stream.duplicates").value == 0
+    # the ledger saw each failure kind and each retransmit repair
+    assert ledger.detects == [
+        ("stream", "corrupt", 3), ("stream", "truncated", 5)
+    ]
+    assert ledger.repairs == [
+        ("stream", "retransmit", 3), ("stream", "retransmit", 5)
+    ]
+
+
+def test_retransmit_cap_fails_session():
+    """A source that can never produce a clean chunk exhausts the
+    per-sequence retransmit budget: the session FAILs, fires its
+    ``failed`` event, and the drain never completes."""
+    env, fabric = _fabric_world()
+    metrics = MetricsRegistry(env)
+    receiver = StreamReceiver(env, host="node", metrics=metrics)
+    publisher = StreamPublisher(
+        env, fabric, receiver, src_host="inst",
+        chunk_bytes=MB(8), max_retransmits=2, metrics=metrics,
+    )
+    publisher.corruptor = _ScriptedCorruptor({
+        (2, r): ("chunk_corrupt", 1.0) for r in range(10)
+    })
+    session = publisher.start("/acq.emd", MB(8) * 6, digest="d" * 32)
+    env.run()
+    assert session.status == "FAILED"
+    assert "after 2 retransmits" in session.error
+    assert session.failed is not None and session.failed.triggered
+    # initial send + 2 allowed retransmits, all NAK'd
+    assert session.naks == 3 and session.retransmits == 2
+    assert metrics.counter("stream.naks").value == 3
+    state = receiver._states[session.session_id]
+    assert state.next_seq == 2 and state.drained == 2
+
+
+def test_verified_clean_stream_never_naks():
+    """Arming digests without a corruptor is pure verification: every
+    chunk passes, no NAKs, no failure event."""
+    env, fabric = _fabric_world()
+    receiver = StreamReceiver(env, host="node")
+    publisher = StreamPublisher(
+        env, fabric, receiver, src_host="inst", chunk_bytes=MB(8)
+    )
+    session = publisher.start("/acq.emd", MB(8) * 5, digest="d" * 32)
+    env.run()
+    assert session.status == "DELIVERED"
+    assert session.naks == 0 and session.retransmits == 0
+    assert not session.failed.triggered
 
 
 # -- campaign integration ----------------------------------------------------

@@ -277,6 +277,17 @@ def test_fault_plan_validation():
         FaultPlan(max_attempts=0)
 
 
+def test_fault_plan_rejects_probability_sum_above_one():
+    """Each prob alone is valid, but the single-uniform draw partitions
+    [0, 1) — a sum above 1 would silently truncate the corrupt region
+    instead of modelling what the caller asked for."""
+    with pytest.raises(TransferError, match="must not exceed 1"):
+        FaultPlan(transient_prob=0.7, corrupt_prob=0.5)
+    # The boundary itself is legal: corruption fills the remainder.
+    plan = FaultPlan(transient_prob=0.6, corrupt_prob=0.4)
+    assert plan.transient_prob + plan.corrupt_prob == 1.0
+
+
 def test_parallel_transfers_contend_for_switch(world):
     """Two simultaneous 125 MB transfers through the shared 1 Gbps link
     take ~2x a single one — the Sec. 3.3 contention effect."""

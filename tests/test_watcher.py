@@ -174,14 +174,40 @@ def test_checkpoint_forget(tmp_path):
     assert not CheckpointStore(path).is_processed("/a", "c")
 
 
-def test_checkpoint_corrupt_file_detected(tmp_path):
+def test_checkpoint_corrupt_file_quarantined(tmp_path):
+    """A corrupt store must never abort the restart: it is renamed to
+    ``<path>.corrupt``, the watcher continues with an empty store, and
+    a warning metric fires."""
+    from repro.obs import MetricsRegistry
+    from repro.sim import Environment
+
     path = tmp_path / "ckpt.json"
     path.write_text("{invalid json")
-    with pytest.raises(CheckpointError, match="corrupt"):
-        CheckpointStore(path)
+    metrics = MetricsRegistry(Environment())
+    ckpt = CheckpointStore(path, metrics=metrics)
+    assert ckpt.quarantined_path == f"{path}.corrupt"
+    assert "corrupt" in ckpt.quarantine_reason
+    assert not path.exists()
+    assert (tmp_path / "ckpt.json.corrupt").read_text() == "{invalid json"
+    assert len(ckpt) == 0
+    assert metrics.counter("watcher.checkpoint_quarantined").value == 1
+    # Processing continues: the empty store accepts new work and the
+    # next flush rebuilds a clean file in place.
+    ckpt.mark_processed("/a", "c1")
+    assert ckpt.is_processed("/a", "c1")
+    assert json.loads(path.read_text()) == {"/a": "c1"}
+
+
+def test_checkpoint_malformed_store_quarantined(tmp_path):
+    path = tmp_path / "ckpt.json"
     path.write_text(json.dumps({"a": 1}))  # wrong value type
-    with pytest.raises(CheckpointError, match="malformed"):
-        CheckpointStore(path)
+    ckpt = CheckpointStore(path)
+    assert ckpt.quarantined_path == f"{path}.corrupt"
+    assert "malformed" in ckpt.quarantine_reason
+    assert len(ckpt) == 0
+    path.write_text(json.dumps(["not", "a", "dict"]))
+    again = CheckpointStore(path)
+    assert again.quarantine_reason is not None and len(again) == 0
 
 
 def test_checkpoint_write_is_atomic(tmp_path):
