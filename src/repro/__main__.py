@@ -497,7 +497,10 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p.add_argument(
         "suite", nargs="?", default="all",
-        choices=["all", "kernel", "fabric", "campaign", "lint", "stream", "integrity"],
+        choices=[
+            "all", "kernel", "fabric", "campaign", "lint", "stream",
+            "integrity", "dataplane",
+        ],
     )
     p.add_argument(
         "--check", action="store_true",

@@ -62,6 +62,34 @@ class ElementHit:
     prominence: float  # peak counts above local continuum
 
 
+#: Flat characteristic-line table (element, label, energy) in
+#: ``ELEMENT_LINES`` iteration order, built lazily once: peak→line
+#: matching is then a single broadcast |ΔE| matrix instead of a
+#: per-peak × per-element × per-line Python scan.  ``argmin`` takes the
+#: first minimal entry, which is exactly the scan's strict-``<``
+#: first-wins tie-break over the same ordering.
+_LINE_TABLE: "tuple[tuple[str, ...], tuple[str, ...], np.ndarray] | None" = None
+
+
+def _line_table() -> "tuple[tuple[str, ...], tuple[str, ...], np.ndarray]":
+    global _LINE_TABLE
+    if _LINE_TABLE is None:
+        elements: list[str] = []
+        labels: list[str] = []
+        line_energies: list[float] = []
+        for element, lines in ELEMENT_LINES.items():
+            for line in lines:
+                elements.append(element)
+                labels.append(line.label)
+                line_energies.append(line.energy_ev)
+        _LINE_TABLE = (
+            tuple(elements),
+            tuple(labels),
+            np.asarray(line_energies, dtype=np.float64),
+        )
+    return _LINE_TABLE
+
+
 def identify_elements(
     spectrum: np.ndarray,
     energies: np.ndarray,
@@ -92,26 +120,27 @@ def identify_elements(
     threshold = residual[peaks_mask].max() * min_prominence_frac
     peak_idx = np.nonzero(peaks_mask & (residual > threshold))[0]
 
+    elements, labels, line_energies = _line_table()
+    # Broadcast |line − peak| over every (peak, line) pair at once; the
+    # nearest in-tolerance line per peak replaces the scalar scan.
+    deltas = np.abs(line_energies[None, :] - energies[peak_idx][:, None])
+    within = deltas <= tolerance_ev
+    matched = within.any(axis=1)
+    best_line = np.where(within, deltas, np.inf).argmin(axis=1)
+
     hits: dict[tuple[str, str], ElementHit] = {}
-    for i in peak_idx:
-        e_peak = energies[i]
-        prominence = float(residual[i])
-        best: tuple[float, str, str, float] | None = None
-        for element, lines in ELEMENT_LINES.items():
-            for line in lines:
-                delta = abs(line.energy_ev - e_peak)
-                if delta <= tolerance_ev and (best is None or delta < best[0]):
-                    best = (delta, element, line.label, line.energy_ev)
-        if best is None:
+    for j, i in enumerate(peak_idx):
+        if not matched[j]:
             continue
-        _, element, label, line_energy = best
-        key = (element, label)
+        prominence = float(residual[i])
+        li = int(best_line[j])
+        key = (elements[li], labels[li])
         if key not in hits or hits[key].prominence < prominence:
             hits[key] = ElementHit(
-                element=element,
-                line_label=label,
-                line_energy_ev=line_energy,
-                peak_energy_ev=float(e_peak),
+                element=elements[li],
+                line_label=labels[li],
+                line_energy_ev=float(line_energies[li]),
+                peak_energy_ev=float(energies[i]),
                 prominence=prominence,
             )
     return sorted(hits.values(), key=lambda h: -h.prominence)

@@ -32,6 +32,7 @@ __all__ = [
     "SUITES",
     "check_against_baseline",
     "run_campaign_bench",
+    "run_dataplane_bench",
     "run_fabric_bench",
     "run_integrity_bench",
     "run_kernel_bench",
@@ -499,6 +500,204 @@ def run_integrity_bench(repeat: int = 3) -> dict[str, Any]:
     return metrics
 
 
+# -- dataplane suite -------------------------------------------------------
+
+def run_dataplane_bench(repeat: int = 3) -> dict[str, Any]:
+    """The numeric data plane: instrument synthesis, analysis kernels,
+    the fp64→uint8 video pass, zero-copy h5lite slicing, and the
+    kernel's same-timestamp cohort drain.
+
+    Every vectorized kernel is timed against its frozen pre-PR loop
+    reference from ``instrument/_loops.py`` / ``analysis/_loops.py``
+    (bit-identity between the two is pinned by
+    ``tests/test_dataplane_identity.py``); the loop wall and the
+    resulting ``speedup_vs_loop`` ride along as informational keys.
+    Only ``ops_per_s`` of the vectorized path gates in ``--check``.
+    """
+    import tempfile
+
+    import numpy as np
+
+    from .analysis import _loops as aloops
+    from .analysis.detection import BlobDetector, Detection, DetectorParams
+    from .analysis.hyperspectral import identify_elements
+    from .analysis.video import _movie_bounds, movie_to_uint8
+    from .emd.h5lite import H5LiteFile, H5LiteWriter
+    from .instrument import _loops as iloops
+    from .instrument.phantoms import Particle, particle_mask
+    from .instrument.spatiotemporal import MovieSpec, generate_movie
+    from .instrument.xray import ELEMENT_LINES
+
+    metrics: dict[str, Any] = {}
+
+    def entry(name: str, n_ops: int, wall: float, loop_wall: "float | None" = None,
+              **extra: Any) -> None:
+        m: dict[str, Any] = {
+            "n_ops": n_ops, "wall_s": wall, "ops_per_s": n_ops / wall,
+        }
+        if loop_wall is not None:
+            m["loop_wall_s"] = loop_wall
+            m["speedup_vs_loop"] = loop_wall / wall
+        m.update(extra)
+        metrics[name] = m
+
+    # Instrument: movie synthesis (batched RNG + frame-batched scatter).
+    spec = MovieSpec(n_frames=30, shape=(256, 256), n_particles=12)
+    wall, _ = _best_of(lambda: generate_movie(spec, np.random.default_rng(0)), repeat)
+    loop_wall, _ = _best_of(
+        lambda: iloops.generate_movie_loops(spec, np.random.default_rng(0)), 1
+    )
+    entry("instrument_movie", spec.n_frames, wall, loop_wall)
+
+    # Instrument: soft-disk phantom masks (windowed vs full-frame).
+    rng = np.random.default_rng(1)
+    particles = [
+        Particle(row=float(r), col=float(c), radius=float(rad), element="Au")
+        for r, c, rad in zip(
+            rng.uniform(20, 492, 40), rng.uniform(20, 492, 40), rng.uniform(4, 14, 40)
+        )
+    ]
+    wall, _ = _best_of(lambda: particle_mask((512, 512), particles), repeat)
+    loop_wall, _ = _best_of(lambda: iloops.particle_mask_loops((512, 512), particles), 1)
+    entry("instrument_phantom_mask", len(particles), wall, loop_wall)
+
+    # Analysis: blob detection over a frame stack.
+    dspec = MovieSpec(n_frames=8, shape=(256, 256), n_particles=10)
+    dmovie, _ = generate_movie(dspec, np.random.default_rng(2))
+    params = DetectorParams()
+    det = BlobDetector(params)
+    wall, dets = _best_of(lambda: det.detect_movie(dmovie), repeat)
+    loop_wall, _ = _best_of(lambda: aloops.detect_movie_loops(dmovie, params), 1)
+    entry(
+        "analysis_detect_movie", dspec.n_frames, wall, loop_wall,
+        detections=sum(len(d) for d in dets),
+    )
+
+    # Analysis: NMS over a dense synthetic candidate field.
+    rng = np.random.default_rng(3)
+    xs, ys = rng.uniform(0, 2000, 800), rng.uniform(0, 2000, 800)
+    cands = [
+        Detection(
+            x0=float(x), y0=float(y),
+            x1=float(x + s), y1=float(y + s),
+            confidence=float(c), scale=2.0,
+        )
+        for x, y, s, c in zip(xs, ys, rng.uniform(8, 30, 800), rng.uniform(0.1, 1.0, 800))
+    ]
+    from .analysis.detection import nms
+    wall, kept = _best_of(lambda: nms(cands, 0.4), repeat)
+    loop_wall, _ = _best_of(lambda: aloops.nms_loops(cands, 0.4), 1)
+    entry("analysis_nms", len(cands), wall, loop_wall, kept=len(kept))
+
+    # Analysis: spectrum peak → line matching.
+    energies = np.linspace(0.0, 20000.0, 4096)
+    rng = np.random.default_rng(4)
+    spectrum = 50.0 * np.exp(-energies / 6000.0) + rng.poisson(5.0, size=energies.shape)
+    for _el, lines in list(ELEMENT_LINES.items())[:8]:
+        for line in lines:
+            spectrum += 400.0 * np.exp(
+                -0.5 * ((energies - line.energy_ev) / 40.0) ** 2
+            )
+
+    def match_many(fn) -> int:
+        n = 0
+        for _ in range(20):
+            n += len(fn(spectrum, energies))
+        return n
+
+    wall, n_hits = _best_of(lambda: match_many(identify_elements), repeat)
+    loop_wall, _ = _best_of(lambda: match_many(aloops.identify_elements_loops), 1)
+    entry("analysis_hyperspectral", 20, wall, loop_wall, hits=n_hits // 20)
+
+    # Video: normalization bounds + the fp64→uint8 cast, block-batched.
+    vmovie = np.abs(np.random.default_rng(5).normal(120.0, 40.0, size=(48, 256, 256)))
+
+    def cast_pipeline() -> int:
+        lo, hi = _movie_bounds(vmovie)
+        movie_to_uint8(vmovie)
+        return vmovie.shape[0]
+
+    def cast_pipeline_loops() -> int:
+        lo, hi = aloops.movie_bounds_loops(vmovie)
+        movie_to_uint8(vmovie)
+        return vmovie.shape[0]
+
+    wall, n_frames = _best_of(cast_pipeline, repeat)
+    loop_wall, _ = _best_of(cast_pipeline_loops, 1)
+    entry("video_cast_bounds", n_frames, wall, loop_wall)
+
+    # h5lite: sliced reads.  A chunk-aligned band view against the full
+    # read the pre-view API forced, and a crossing tile gather.
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "cube.h5l")
+        cube = np.random.default_rng(6).normal(size=(64, 256, 256))
+        with H5LiteWriter(path) as w:
+            w.create_dataset("/cube", data=cube, chunks=(4, 256, 256))
+        with H5LiteFile(path) as f:
+            ds = f["cube"]
+
+            def band_reads() -> int:
+                for b in range(16):
+                    ds.view((slice(4 * b, 4 * b + 4),))
+                return 16
+
+            def full_reads() -> int:
+                for _ in range(16):
+                    ds.read()
+                return 16
+
+            wall, n_reads = _best_of(band_reads, repeat)
+            loop_wall, _ = _best_of(full_reads, 1)
+            entry("h5lite_band_read", n_reads, wall, loop_wall)
+
+            def tile_reads() -> int:
+                for b in range(16):
+                    ds.view((slice(None), slice(64, 192), slice(64, 192)))
+                return 16
+
+            wall, n_reads = _best_of(tile_reads, repeat)
+            loop_wall, _ = _best_of(full_reads, 1)
+            entry("h5lite_tile_read", n_reads, wall, loop_wall)
+
+    # Kernel: same-timestamp cohort drain under an observer (the traced
+    # loop's "any work left?" test is now O(1); the reference below is
+    # the pre-PR O(#buckets)-per-event scan, same dispatch order).
+    n_flows, n_ticks, period = 400, 20, 10.0
+
+    def build_env() -> tuple[Environment, list]:
+        env = Environment()
+        dispatched: list = []
+        env._trace_hook = lambda t, p, e: dispatched.append(None)
+
+        def flow(env, i):
+            # one distinct far-future deadline → one live bucket per flow
+            deadline = env.timeout(10_000.0 + i)
+            for _ in range(n_ticks):
+                yield env.timeout(period)
+            env.cancel(deadline)
+
+        for i in range(n_flows):
+            env.process(flow(env, i))
+        return env, dispatched
+
+    def cohort_new() -> int:
+        env, dispatched = build_env()
+        env.run()
+        return len(dispatched)
+
+    def cohort_old_scan() -> int:
+        env, dispatched = build_env()
+        while env._n_pending() > env._cancelled_count:
+            env.step()
+        return len(dispatched)
+
+    wall, n_events = _best_of(cohort_new, repeat)
+    loop_wall, n_ref = _best_of(cohort_old_scan, 1)
+    assert n_events == n_ref
+    entry("kernel_cohort_drain", n_events, wall, loop_wall)
+    return metrics
+
+
 # -- campaign suite --------------------------------------------------------
 
 def run_campaign_bench(repeat: int = 3, include_sweep: bool = True) -> dict[str, Any]:
@@ -544,6 +743,7 @@ SUITES: dict[str, Callable[..., dict[str, Any]]] = {
     "lint": run_lint_bench,
     "stream": run_stream_bench,
     "integrity": run_integrity_bench,
+    "dataplane": run_dataplane_bench,
 }
 
 

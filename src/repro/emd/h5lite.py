@@ -10,7 +10,13 @@ exercises, in a compact single-file binary format:
 * **lazy partial reads**: opening a file reads only the footer; slicing a
   chunked dataset touches only the intersecting chunks (this matters for
   the spatiotemporal flow, which reads one 640×640 frame at a time out of
-  a 600-frame cube).
+  a 600-frame cube);
+* **zero-copy views**: files are memory-mapped when the platform allows,
+  so :meth:`Dataset.view` can hand back hyperslabs that alias the page
+  cache directly — no read, no decompress, no copy — whenever the
+  selection lands in uncompressed contiguous storage or a single
+  uncompressed chunk.  Everything else degrades to a minimal-copy
+  gather over only the intersecting chunks.
 
 On-disk layout::
 
@@ -25,8 +31,10 @@ makes partial reads possible without a global index structure.
 from __future__ import annotations
 
 import io
+import itertools
 import json
 import math
+import mmap
 import os
 import zlib
 from typing import Any, Iterator, Optional, Sequence, Union
@@ -334,6 +342,7 @@ class Dataset:
         self.chunks = tuple(desc["chunks"]) if desc.get("chunks") else None
         self.compression = desc.get("compression")
         self._blocks = desc["blocks"]
+        self._base: Optional[np.ndarray] = None  # zero-copy contiguous cache
 
     @property
     def ndim(self) -> int:
@@ -361,11 +370,11 @@ class Dataset:
         raw = self._read_block(self._blocks[0])
         return np.frombuffer(raw, dtype=self.dtype)[0]
 
-    def _read_block(self, entry: Sequence[int]) -> bytes:
+    def _read_block(self, entry: Sequence[int]) -> "bytes | memoryview":
         offset, nbytes, raw_nbytes = entry
         payload = self._file._pread(offset, nbytes)
         if self.compression == "zlib":
-            raw = zlib.decompress(payload)
+            raw: "bytes | memoryview" = zlib.decompress(payload)
         else:
             raw = payload
         if len(raw) != raw_nbytes:
@@ -373,6 +382,10 @@ class Dataset:
                 f"{self.path}: block at {offset} decoded to {len(raw)} bytes, "
                 f"expected {raw_nbytes}"
             )
+        stats = self._file.read_stats
+        stats["block_reads"] += 1
+        stats["payload_bytes"] += nbytes
+        stats["raw_bytes"] += raw_nbytes
         return raw
 
     def __getitem__(self, key: Any) -> np.ndarray:
@@ -449,6 +462,175 @@ class Dataset:
             out[tuple(dst)] = chunk[tuple(src)]
         return out
 
+    # -- zero-copy views ------------------------------------------------------
+    def view(self, key: Any = (slice(None),)) -> np.ndarray:
+        """Slice-on-demand read materializing only the requested hyperslab.
+
+        Unlike ``__getitem__`` (which pins the historical step-1 API),
+        ``view`` accepts full basic indexing — ints, negative indices,
+        and slices with any step, including negative.  Three tiers:
+
+        * **contiguous + uncompressed + mmap** — the result is a NumPy
+          view straight onto the memory-mapped file: zero bytes read or
+          copied until the caller touches the data;
+        * **single uncompressed chunk + mmap** — when every axis of the
+          selection lands inside one chunk, the result aliases that
+          chunk's pages the same way;
+        * **anything else** — a minimal-copy gather that decodes only
+          the chunks intersecting the selection (chunks the selection
+          steps over entirely are never read).
+
+        Zero-copy results are read-only (they alias the file); copy-path
+        results are fresh writable arrays.  Negative steps are served by
+        reading the equivalent ascending hyperslab and flipping, so the
+        chunk I/O pattern is identical either way.
+        """
+        axes = self._normalize_view_key(key)
+        if self.layout == "contiguous":
+            base = self._contiguous_base()
+            out = base[
+                tuple(
+                    a[1]
+                    if a[0] == "int"
+                    else slice(a[1], a[1] + a[2] * a[3], a[3])
+                    for a in axes
+                )
+            ]
+            return self._apply_flips(out, axes)
+        return self._view_chunked(axes)
+
+    def _normalize_view_key(self, key: Any) -> list[tuple]:
+        """Each axis becomes ``("int", i)`` or an ascending
+        ``("slice", start, n, step, flipped)`` with ``step >= 1``."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) > len(self.shape):
+            raise IndexError(
+                f"too many indices for dataset of shape {self.shape}: {key!r}"
+            )
+        key = key + (slice(None),) * (len(self.shape) - len(key))
+        axes: list[tuple] = []
+        for k, dim in zip(key, self.shape):
+            if isinstance(k, (int, np.integer)):
+                i = int(k)
+                if i < 0:
+                    i += dim
+                if not 0 <= i < dim:
+                    raise IndexError(f"index {k} out of range for axis of size {dim}")
+                axes.append(("int", i))
+            elif isinstance(k, slice):
+                try:
+                    start, stop, step = k.indices(dim)
+                except (ValueError, TypeError) as exc:  # e.g. zero step
+                    raise IndexError(str(exc)) from exc
+                n = len(range(start, stop, step))
+                flipped = step < 0
+                if flipped:
+                    # Same index set read ascending, flipped afterwards.
+                    start = start + (n - 1) * step if n else 0
+                    step = -step
+                axes.append(("slice", start, n, step, flipped))
+            else:
+                raise IndexError(f"unsupported index: {k!r}")
+        return axes
+
+    @staticmethod
+    def _apply_flips(out: np.ndarray, axes: Sequence[tuple]) -> np.ndarray:
+        """Reverse the axes whose original slice had a negative step
+        (int axes are already dropped from ``out``)."""
+        flips = [a[4] for a in axes if a[0] == "slice"]
+        if any(flips):
+            out = out[tuple(slice(None, None, -1) if f else slice(None) for f in flips)]
+        return out
+
+    def _contiguous_base(self) -> np.ndarray:
+        """Full contiguous array; a zero-copy alias of the mmap when the
+        payload is uncompressed (cached — aliasing is free), otherwise a
+        per-call decompression (never cached, to keep peak memory at
+        the historical one-block transient)."""
+        if self._base is not None:
+            return self._base
+        raw = self._read_block(self._blocks[0])
+        arr = np.frombuffer(raw, dtype=self.dtype).reshape(self.shape)
+        if self.compression is None and isinstance(raw, memoryview):
+            self._base = arr
+        return arr
+
+    def _view_chunked(self, axes: Sequence[tuple]) -> np.ndarray:
+        assert self.chunks is not None
+        # Per-axis (start, n, step): ints are width-1 rows dropped at the end.
+        params = [
+            (a[1], 1, 1) if a[0] == "int" else (a[1], a[2], a[3]) for a in axes
+        ]
+        drop = tuple(0 if a[0] == "int" else slice(None) for a in axes)
+        if any(n == 0 for _, n, _ in params):
+            out = np.empty(tuple(n for _, n, _ in params), dtype=self.dtype)
+            return self._apply_flips(out[drop], axes)
+
+        grid = _chunk_grid(self.shape, self.chunks)
+        strides = np.ones(len(grid), dtype=np.int64)
+        for ax in range(len(grid) - 2, -1, -1):
+            strides[ax] = strides[ax + 1] * grid[ax + 1]
+
+        # Fast path: the whole selection inside one uncompressed chunk →
+        # a view onto that chunk's mapped pages.
+        span = [(s // c, (s + (n - 1) * st) // c) for (s, n, st), c in zip(params, self.chunks)]
+        if (
+            self.compression is None
+            and self._file._mm is not None
+            and all(lo == hi for lo, hi in span)
+        ):
+            cidx = tuple(lo for lo, _ in span)
+            flat = int(np.dot(np.asarray(cidx, dtype=np.int64), strides))
+            extent = tuple(
+                min((ci + 1) * c, s) - ci * c
+                for ci, c, s in zip(cidx, self.chunks, self.shape)
+            )
+            raw = self._read_block(self._blocks[flat])
+            chunk = np.frombuffer(raw, dtype=self.dtype).reshape(extent)
+            local = tuple(
+                (a[1] - ci * c)
+                if a[0] == "int"
+                else slice(a[1] - ci * c, a[1] - ci * c + a[2] * a[3], a[3])
+                for a, ci, c in zip(axes, cidx, self.chunks)
+            )
+            return self._apply_flips(chunk[local], axes)
+
+        # General gather: per axis, the chunk rows the selection actually
+        # crosses (a large step can hop whole chunks — those are skipped
+        # before any byte is read).
+        ax_rows: list[list[tuple[int, int, int]]] = []
+        for (start, n, step), c, dim in zip(params, self.chunks, self.shape):
+            rows = []
+            last = start + (n - 1) * step
+            for ci in range(start // c, last // c + 1):
+                c0, c1 = ci * c, min(ci * c + c, dim)
+                k0 = max(0, (c0 - start + step - 1) // step)
+                k1 = min(n - 1, (c1 - 1 - start) // step)
+                if k1 >= k0:
+                    rows.append((ci, k0, k1))
+            ax_rows.append(rows)
+
+        out = np.empty(tuple(n for _, n, _ in params), dtype=self.dtype)
+        for combo in itertools.product(*ax_rows):
+            cidx = tuple(e[0] for e in combo)
+            flat = int(np.dot(np.asarray(cidx, dtype=np.int64), strides))
+            extent = tuple(
+                min((ci + 1) * c, s) - ci * c
+                for ci, c, s in zip(cidx, self.chunks, self.shape)
+            )
+            raw = self._read_block(self._blocks[flat])
+            chunk = np.frombuffer(raw, dtype=self.dtype).reshape(extent)
+            src = tuple(
+                slice(start + k0 * step - ci * c, start + k1 * step - ci * c + 1, step)
+                for (start, _, step), (ci, k0, k1), c in zip(
+                    params, combo, self.chunks
+                )
+            )
+            dst = tuple(slice(k0, k1 + 1) for _, k0, k1 in combo)
+            out[dst] = chunk[src]
+        return self._apply_flips(out[drop], axes)
+
 
 class Group:
     """Read-side group handle."""
@@ -494,10 +676,24 @@ class H5LiteFile:
     def __init__(self, path: "str | os.PathLike") -> None:
         self.path = os.fspath(path)
         self._fh = open(self.path, "rb")
+        #: I/O accounting for this handle: decoded blocks, payload bytes
+        #: touched, raw bytes produced.  Zero-copy views do count their
+        #: aliased block once (the mapping, not a read), so chunk-access
+        #: regressions stay observable.
+        self.read_stats: dict[str, int] = {
+            "block_reads": 0,
+            "payload_bytes": 0,
+            "raw_bytes": 0,
+        }
+        self._mm: Optional[mmap.mmap] = None
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError):
+            self._mm = None  # empty file / exotic fs: plain reads still work
         try:
             self._root = self._load_footer()
         except Exception:
-            self._fh.close()
+            self.close()
             raise
 
     def _load_footer(self) -> _Node:
@@ -529,7 +725,13 @@ class H5LiteFile:
             )
         return _Node.from_doc(doc["root"])
 
-    def _pread(self, offset: int, nbytes: int) -> bytes:
+    def _pread(self, offset: int, nbytes: int) -> "bytes | memoryview":
+        """Positioned read.  With a live mmap this is a zero-copy
+        memoryview onto the page cache; otherwise a buffered file read."""
+        if self._mm is not None:
+            if offset + nbytes > len(self._mm):
+                raise FormatError(f"{self.path}: short read at offset {offset}")
+            return memoryview(self._mm)[offset : offset + nbytes]
         self._fh.seek(offset)
         data = self._fh.read(nbytes)
         if len(data) != nbytes:
@@ -580,6 +782,16 @@ class H5LiteFile:
         yield from rec(self._root, "")
 
     def close(self) -> None:
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                # Live zero-copy views still pin the mapping; it is
+                # released when the last view dies.  The views stay
+                # valid either way — an mmap outlives its fd.
+                pass
+            else:
+                self._mm = None
         self._fh.close()
 
     def __enter__(self) -> "H5LiteFile":
